@@ -1,0 +1,82 @@
+//! Kernel-level micro-benchmarks: integer executor throughput per
+//! activation bitwidth, packing, and entropy estimation.
+//!
+//! These back the cost-model constants: on a host CPU sub-byte execution
+//! does not speed up (we unpack to bytes, as CMix-NN does), so this bench
+//! documents the *functional* cost of each path rather than MCU speedups —
+//! those come from `quantmcu_mcusim::cycles`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantmcu::nn::exec::{calibrate_ranges, FloatExecutor, QuantExecutor};
+use quantmcu::nn::{init, Graph, GraphSpecBuilder};
+use quantmcu::quant::entropy;
+use quantmcu::tensor::{pack, Bitwidth, Shape, Tensor};
+
+fn bench_graph() -> Graph {
+    let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+        .conv2d(8, 3, 2, 1)
+        .relu6()
+        .dwconv(3, 1, 1)
+        .relu6()
+        .pwconv(16)
+        .global_avg_pool()
+        .dense(10)
+        .build()
+        .expect("spec builds");
+    init::with_structured_weights(spec, 3)
+}
+
+fn input() -> Tensor {
+    Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i as f32) * 0.13).sin())
+}
+
+fn executors(c: &mut Criterion) {
+    let graph = bench_graph();
+    let x = input();
+    let ranges = calibrate_ranges(&graph, std::slice::from_ref(&x)).expect("calibrate");
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    group.bench_function("float", |b| {
+        let exec = FloatExecutor::new(&graph);
+        b.iter(|| exec.run(&x).expect("run"))
+    });
+    for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
+        let act = vec![bits; graph.spec().feature_map_count()];
+        let qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8).expect("exec");
+        group.bench_with_input(BenchmarkId::new("quant", bits), &bits, |b, _| {
+            b.iter(|| qe.run(&x).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn packing(c: &mut Criterion) {
+    let values: Vec<i8> = (0..65536).map(|i| ((i % 15) as i8) - 7).collect();
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(30);
+    for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
+        group.bench_with_input(BenchmarkId::new("pack_unpack", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let packed = pack::pack(&values, bits);
+                pack::unpack(&packed, bits, values.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn entropy_estimator(c: &mut Criterion) {
+    let values: Vec<f32> = (0..262_144).map(|i| ((i as f32) * 0.001).sin() * 3.0).collect();
+    let mut group = c.benchmark_group("entropy");
+    group.sample_size(20);
+    for k in [32usize, 256, 2048] {
+        group.bench_with_input(BenchmarkId::new("bins", k), &k, |b, &k| {
+            b.iter(|| entropy::entropy_reduction(&values, Bitwidth::W4, k).expect("entropy"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, executors, packing, entropy_estimator);
+criterion_main!(benches);

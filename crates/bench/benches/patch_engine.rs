@@ -1,0 +1,46 @@
+//! Patch-engine benchmarks: the numeric cost of patch-based execution
+//! versus plain execution, per grid fineness — the host-side counterpart
+//! of Fig. 1b's redundancy overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantmcu::nn::exec::FloatExecutor;
+use quantmcu::nn::{init, Graph, GraphSpecBuilder};
+use quantmcu::patch::{PatchExecutor, PatchPlan};
+use quantmcu::tensor::{Shape, Tensor};
+
+fn graph() -> Graph {
+    let spec = GraphSpecBuilder::new(Shape::hwc(32, 32, 3))
+        .conv2d(8, 3, 1, 1)
+        .relu6()
+        .conv2d(8, 3, 2, 1)
+        .relu6()
+        .conv2d(16, 3, 2, 1)
+        .global_avg_pool()
+        .dense(10)
+        .build()
+        .expect("spec builds");
+    init::with_structured_weights(spec, 5)
+}
+
+fn patch_vs_layer(c: &mut Criterion) {
+    let g = graph();
+    let x = Tensor::from_fn(Shape::hwc(32, 32, 3), |i| ((i as f32) * 0.07).sin());
+    let mut group = c.benchmark_group("patch_engine");
+    group.sample_size(20);
+    group.bench_function("layer_based", |b| {
+        let exec = FloatExecutor::new(&g);
+        b.iter(|| exec.run(&x).expect("run"))
+    });
+    for grid in [2usize, 3, 4] {
+        let plan = PatchPlan::new(g.spec(), 5, grid, grid).expect("plan");
+        let pe = PatchExecutor::new(&g, plan).expect("executor");
+        group.bench_with_input(BenchmarkId::new("patched", grid), &grid, |b, _| {
+            b.iter(|| pe.run(&x).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, patch_vs_layer);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 1b — inference latency of layer-based vs patch-based execution on
+//! five networks (Arduino Nano 33 BLE Sense profile).
+//!
+//! Expected shape: patch-based latency exceeds layer-based by single-digit
+//! to low-double-digit percent on every network (the paper reports 8-17%).
+
+use quantmcu::mcusim::{Device, LatencyModel};
+use quantmcu::models::Model;
+use quantmcu::nn::cost::BitwidthAssignment;
+use quantmcu::patch::baselines::mcunetv2;
+use quantmcu::tensor::Bitwidth;
+use quantmcu_bench::{header, ms, row};
+
+fn main() {
+    let device = Device::nano33_ble_sense();
+    let model_latency = LatencyModel::new(device);
+    println!("Fig 1b: layer-based vs patch-based inference latency ({})\n", device.name);
+    let widths = [12, 14, 14, 10];
+    header(&["Network", "Layer (ms)", "Patch (ms)", "Overhead"], &widths);
+    for model in Model::FIG1B {
+        let spec = model
+            .spec(model.mcu_scale(device.sram_bytes / 1024, 1000))
+            .expect("MCU-scale models build");
+        let layer = model_latency.layer_based(
+            &spec,
+            &BitwidthAssignment::uniform(&spec, Bitwidth::W8),
+            Bitwidth::W8,
+        );
+        let sched = mcunetv2::schedule(&spec, device.sram_bytes).expect("schedulable");
+        let (head, tail) = spec.split_at(sched.plan.split_at()).expect("valid split");
+        let branch_bits = vec![vec![Bitwidth::W8; head.len() + 1]; sched.plan.branch_count()];
+        let tail_bits = vec![Bitwidth::W8; tail.feature_map_count()];
+        let patch = model_latency
+            .patch_based(&spec, &sched.plan, &branch_bits, &tail_bits, Bitwidth::W8)
+            .expect("valid plan");
+        let overhead = (patch.as_secs_f64() / layer.as_secs_f64() - 1.0) * 100.0;
+        println!(
+            "{}",
+            row(
+                &[
+                    model.name().to_string(),
+                    ms(layer),
+                    ms(patch),
+                    format!("+{overhead:.1}%"),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,70 @@
+use quantmcu_quant::{VdpcConfig, VdqsConfig};
+use quantmcu_tensor::Bitwidth;
+
+/// End-to-end QuantMCU configuration.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::QuantMcuConfig;
+///
+/// let cfg = QuantMcuConfig { grid: 3, ..QuantMcuConfig::default() };
+/// assert_eq!(cfg.grid, 3);
+/// assert_eq!(cfg.vdqs.lambda, 0.6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMcuConfig {
+    /// Patch classification hyperparameters (φ).
+    pub vdpc: VdpcConfig,
+    /// Quantization search hyperparameters (λ, bins, candidates).
+    pub vdqs: VdqsConfig,
+    /// Patch grid side (3×3 by default, the grid size the MCUNetV2-family
+    /// deployments it competes with use; Fig. 1a's illustration shows two
+    /// patches only for clarity).
+    pub grid: usize,
+    /// Weight bitwidth (the paper deploys 8-bit weights, Table II's
+    /// "8/MP").
+    pub weight_bits: Bitwidth,
+    /// When `false`, VDPC is bypassed and every patch is treated as
+    /// non-outlier — the "QuantMCU w/o VDPC" ablation of Fig. 4.
+    pub enable_vdpc: bool,
+}
+
+impl QuantMcuConfig {
+    /// The paper's configuration: φ = 0.96, λ = 0.6, 3×3 patches, 8-bit
+    /// weights, VDPC on.
+    pub fn paper() -> Self {
+        QuantMcuConfig {
+            vdpc: VdpcConfig::paper(),
+            vdqs: VdqsConfig::paper(),
+            grid: 3,
+            weight_bits: Bitwidth::W8,
+            enable_vdpc: true,
+        }
+    }
+
+    /// The Fig. 4 ablation: identical but with VDPC disabled.
+    pub fn without_vdpc() -> Self {
+        QuantMcuConfig { enable_vdpc: false, ..QuantMcuConfig::paper() }
+    }
+}
+
+impl Default for QuantMcuConfig {
+    fn default() -> Self {
+        QuantMcuConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = QuantMcuConfig::default();
+        assert_eq!(cfg.grid, 3);
+        assert_eq!(cfg.weight_bits, Bitwidth::W8);
+        assert!(cfg.enable_vdpc);
+        assert!(!QuantMcuConfig::without_vdpc().enable_vdpc);
+    }
+}

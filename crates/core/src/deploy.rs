@@ -1,0 +1,161 @@
+use quantmcu_nn::exec::QuantExecutor;
+use quantmcu_nn::{Graph, GraphError};
+use quantmcu_patch::{PatchExecutor, PatchOutput};
+use quantmcu_tensor::{QuantParams, Tensor};
+
+use crate::error::PlanError;
+use crate::plan::DeploymentPlan;
+
+/// An executable QuantMCU deployment: quantized patch branches plus a
+/// quantized tail, runnable on host for fidelity measurements.
+///
+/// The branch stage runs through the region-restricted patch executor with
+/// per-branch fake quantization; the tail runs through the integer
+/// executor. Both paths mirror what the MCU kernels compute (see the
+/// `quantmcu_nn::exec` docs for the validation of that equivalence).
+#[derive(Debug)]
+pub struct Deployment<'g> {
+    executor: PatchExecutor<'g>,
+    branch_params: Vec<Vec<QuantParams>>,
+    tail_graph: Graph,
+    plan: DeploymentPlan,
+}
+
+impl<'g> Deployment<'g> {
+    /// Prepares the runtime for a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when the plan's quantization metadata cannot
+    /// be materialized (degenerate calibration ranges).
+    pub fn new(graph: &'g Graph, plan: DeploymentPlan) -> Result<Self, PlanError> {
+        let executor = PatchExecutor::new(graph, plan.patch_plan().clone())?;
+        let mut branch_params = Vec::with_capacity(plan.branch_bits.len());
+        for (ranges, bits) in plan.branch_ranges.iter().zip(&plan.branch_bits) {
+            let params = ranges
+                .iter()
+                .zip(bits)
+                .map(|(&(lo, hi), &b)| QuantParams::from_min_max(lo, hi, b))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(GraphError::Tensor)?;
+            branch_params.push(params);
+        }
+        let split = plan.patch_plan().split_at();
+        let spec = graph.spec();
+        let (_, tail_spec) = spec.split_at(split)?;
+        let tail_params = (split..spec.len()).map(|i| graph.params(i).clone()).collect();
+        let tail_graph = Graph::new(tail_spec, tail_params);
+        Ok(Deployment { executor, branch_params, tail_graph, plan })
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &DeploymentPlan {
+        &self.plan
+    }
+
+    /// Runs one input through the quantized deployment, returning the final
+    /// output (dequantized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] for input-shape mismatches.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, PlanError> {
+        Ok(self.run_batch(std::slice::from_ref(input))?.pop().expect("one output"))
+    }
+
+    /// Runs a batch, returning one output per input. The tail's integer
+    /// executor (weight quantization included) is built once for the whole
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first input's error, if any.
+    pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PlanError> {
+        let tail_exec = QuantExecutor::new(
+            &self.tail_graph,
+            &self.plan.tail_ranges,
+            &self.plan.tail_bits,
+            self.plan.weight_bits,
+        )?;
+        inputs
+            .iter()
+            .map(|input| {
+                let PatchOutput { stage_output, .. } =
+                    self.executor.run_quantized(input, Some(&self.branch_params))?;
+                Ok(tail_exec.run(&stage_output)?)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Planner, QuantMcuConfig};
+    use quantmcu_nn::exec::FloatExecutor;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::Shape;
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .pwconv(12)
+            .relu6()
+            .conv2d(16, 3, 2, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(6)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 31)
+    }
+
+    fn inputs(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|s| Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i + 97 * s) as f32 * 0.19).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn deployment_runs_and_tracks_float() {
+        let g = graph();
+        let calib = inputs(4);
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib, 256 * 1024).unwrap();
+        let dep = Deployment::new(&g, plan).unwrap();
+        let test = inputs(8);
+        let quant_outs = dep.run_batch(&test).unwrap();
+        let float_exec = FloatExecutor::new(&g);
+        let mut agree = 0;
+        for (input, q) in test.iter().zip(&quant_outs) {
+            let f = float_exec.run(input).unwrap();
+            assert_eq!(q.shape(), f.shape());
+            if q.argmax(0) == f.argmax(0) {
+                agree += 1;
+            }
+        }
+        // The paper claims <1% accuracy loss; at this toy scale demand a
+        // clear majority agreement.
+        assert!(agree >= 6, "only {agree}/8 agreed with the float model");
+    }
+
+    #[test]
+    fn vdpc_plan_is_at_least_as_faithful_as_no_vdpc() {
+        let g = graph();
+        let calib = inputs(4);
+        let test = inputs(10);
+        let float_exec = FloatExecutor::new(&g);
+        let fidelity = |cfg: QuantMcuConfig| -> usize {
+            let plan = Planner::new(cfg).plan(&g, &calib, 256 * 1024).unwrap();
+            let dep = Deployment::new(&g, plan).unwrap();
+            test.iter()
+                .filter(|t| {
+                    dep.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0)
+                })
+                .count()
+        };
+        let with_vdpc = fidelity(QuantMcuConfig::paper());
+        let without = fidelity(QuantMcuConfig::without_vdpc());
+        assert!(with_vdpc >= without, "VDPC {with_vdpc} vs no-VDPC {without}");
+    }
+}

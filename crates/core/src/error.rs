@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use quantmcu_nn::GraphError;
+use quantmcu_patch::PatchError;
+use quantmcu_quant::QuantError;
+
+/// Errors produced while planning or running a QuantMCU deployment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The patch engine rejected the plan (unsplittable graph, bad grid).
+    Patch(PatchError),
+    /// The quantization search failed (infeasible memory, bad stats).
+    Quant(QuantError),
+    /// Graph construction or execution failed.
+    Graph(GraphError),
+    /// The calibration set is empty.
+    NoCalibration,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Patch(e) => write!(f, "patch planning failed: {e}"),
+            PlanError::Quant(e) => write!(f, "quantization search failed: {e}"),
+            PlanError::Graph(e) => write!(f, "graph error: {e}"),
+            PlanError::NoCalibration => write!(f, "calibration set is empty"),
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Patch(e) => Some(e),
+            PlanError::Quant(e) => Some(e),
+            PlanError::Graph(e) => Some(e),
+            PlanError::NoCalibration => None,
+        }
+    }
+}
+
+impl From<PatchError> for PlanError {
+    fn from(e: PatchError) -> Self {
+        PlanError::Patch(e)
+    }
+}
+
+impl From<QuantError> for PlanError {
+    fn from(e: QuantError) -> Self {
+        PlanError::Quant(e)
+    }
+}
+
+impl From<GraphError> for PlanError {
+    fn from(e: GraphError) -> Self {
+        PlanError::Graph(e)
+    }
+}
+
+impl From<quantmcu_tensor::TensorError> for PlanError {
+    fn from(e: quantmcu_tensor::TensorError) -> Self {
+        PlanError::Graph(GraphError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = PlanError::from(PatchError::NotSplittable { at: 2 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("patch planning failed"));
+        assert!(PlanError::NoCalibration.source().is_none());
+    }
+}

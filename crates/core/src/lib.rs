@@ -1,0 +1,58 @@
+//! **QuantMCU** — value-driven mixed-precision quantization for
+//! patch-based inference on microcontrollers (DATE 2024 reproduction).
+//!
+//! Patch-based inference slashes an MCU deployment's peak SRAM but
+//! recomputes patch halos, inflating latency by 8–17%. QuantMCU removes
+//! that overhead with mixed precision applied *where it is safe*:
+//!
+//! 1. **VDPC** classifies each patch by whether it contains outlier
+//!    activations (fitted Gaussian, φ threshold). Outlier patches — the
+//!    accuracy-critical ones — keep 8-bit branches.
+//! 2. **VDQS** searches each non-outlier branch's feature-map bitwidths
+//!    with an entropy-based score, no training in the loop, and repairs
+//!    the assignment against the SRAM constraint (Algorithm 1).
+//!
+//! The result is a [`DeploymentPlan`]: per-branch and tail bitwidths plus
+//! analytic BitOPs / peak-memory / latency, and an executable
+//! [`Deployment`] for numeric fidelity measurements.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quantmcu::{Planner, QuantMcuConfig};
+//! use quantmcu::models::{Model, ModelConfig};
+//! use quantmcu::nn::init;
+//! use quantmcu::data::classification::ClassificationDataset;
+//!
+//! let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+//! let graph = init::with_structured_weights(spec, 42);
+//! let data = ClassificationDataset::new(32, 10, 7);
+//! let plan = Planner::new(QuantMcuConfig::default())
+//!     .plan(&graph, &data.images(4), 256 * 1024)?;
+//! assert!(plan.bitops() < plan.baseline_patch_bitops());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod deploy;
+mod error;
+mod pipeline;
+mod plan;
+
+pub use config::QuantMcuConfig;
+pub use deploy::Deployment;
+pub use error::PlanError;
+pub use pipeline::Planner;
+pub use plan::DeploymentPlan;
+
+// One-stop re-exports so downstream users need only this crate.
+pub use quantmcu_data as data;
+pub use quantmcu_mcusim as mcusim;
+pub use quantmcu_models as models;
+pub use quantmcu_nn as nn;
+pub use quantmcu_patch as patch;
+pub use quantmcu_quant as quant;
+pub use quantmcu_tensor as tensor;

@@ -1,0 +1,520 @@
+use std::time::Instant;
+
+use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::{Graph, GraphSpec};
+use quantmcu_patch::{Branch, PatchPlan};
+use quantmcu_quant::score::ScoreTable;
+use quantmcu_quant::vdpc::{PatchClass, VdpcClassifier};
+use quantmcu_quant::{entropy, vdqs};
+use quantmcu_tensor::{Bitwidth, Tensor};
+
+use crate::config::QuantMcuConfig;
+use crate::error::PlanError;
+use crate::plan::DeploymentPlan;
+
+/// The QuantMCU planner: calibrate → patch split → VDPC → per-branch VDQS
+/// → tail VDQS → [`DeploymentPlan`].
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    cfg: QuantMcuConfig,
+}
+
+impl Planner {
+    /// A planner with the given configuration.
+    pub fn new(cfg: QuantMcuConfig) -> Self {
+        Planner { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QuantMcuConfig {
+        &self.cfg
+    }
+
+    /// Runs the full pipeline against an SRAM budget (Eq. 7's `M`).
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::NoCalibration`] for an empty calibration set;
+    /// * [`PlanError::Patch`] when the graph has no usable patch stage;
+    /// * [`PlanError::Quant`] when Eq. (7) is infeasible even at the
+    ///   narrowest candidates.
+    pub fn plan(
+        &self,
+        graph: &Graph,
+        calibration: &[Tensor],
+        sram_bytes: usize,
+    ) -> Result<DeploymentPlan, PlanError> {
+        if calibration.is_empty() {
+            return Err(PlanError::NoCalibration);
+        }
+        let start = Instant::now();
+        let spec = graph.spec().clone();
+        let patch_plan = PatchPlan::fitted(&spec, self.cfg.grid, sram_bytes)?;
+        let split = patch_plan.split_at();
+        let (head, tail) = spec.split_at(split)?;
+        let branches = Branch::build_all(&spec, &patch_plan);
+
+        // Calibration traces: one float trace per calibration input.
+        let exec = FloatExecutor::new(graph);
+        let traces: Vec<Vec<Tensor>> = calibration
+            .iter()
+            .map(|t| exec.run_trace(t))
+            .collect::<Result<_, _>>()?;
+
+        // ---- VDPC: classify the split feature map's patches (Fig. 3):
+        // a patch of the *input* feature map containing an outlier value
+        // sends its whole dataflow branch to 8-bit. The Gaussian is fitted
+        // on the full input feature map across the calibration set.
+        let input_values: Vec<f32> = traces
+            .iter()
+            .flat_map(|tr| tr[0].data().iter().copied())
+            .collect();
+        // Classification looks at the *non-overlapping input tiles* (the
+        // "patches" of Fig. 3), not the halo-expanded regions branches
+        // read — halos of a deep stage cover most of the image and would
+        // give every branch the same verdict. Eq. (1) classifies per
+        // inference; a deployment needs a static verdict, so a tile is
+        // outlier-class when any calibration image puts an outlier value
+        // inside it.
+        let patch_classes: Vec<PatchClass> = if self.cfg.enable_vdpc {
+            let clf = VdpcClassifier::fit(&input_values, self.cfg.vdpc.rule)?;
+            let in_shape = spec.input_shape();
+            patch_plan
+                .input_tiles(in_shape.h, in_shape.w)
+                .into_iter()
+                .map(|tile| {
+                    let mut flagged = 0usize;
+                    for tr in &traces {
+                        let crop = tr[0].crop(tile)?;
+                        if clf.classify_values(crop.data()) == PatchClass::Outlier {
+                            flagged += 1;
+                        }
+                    }
+                    Ok(if flagged >= 1 {
+                        PatchClass::Outlier
+                    } else {
+                        PatchClass::NonOutlier
+                    })
+                })
+                .collect::<Result<_, PlanError>>()?
+        } else {
+            vec![PatchClass::NonOutlier; branches.len()]
+        };
+
+        // ---- Per-branch VDQS (8-bit for outlier-class branches). ----
+        // Φ normalizes against the searched scope's own 8-bit reference
+        // BitOPs (see `quantmcu_quant::score` for why).
+        let mut branch_bits = Vec::with_capacity(branches.len());
+        let mut branch_ranges = Vec::with_capacity(branches.len());
+        for (branch, class) in branches.iter().zip(&patch_classes) {
+            let fm_values = branch_feature_values(&traces, branch)?;
+            let ranges: Vec<(f32, f32)> = fm_values.iter().map(|v| min_max(v)).collect();
+            let bits = if *class == PatchClass::Outlier {
+                vec![Bitwidth::W8; head.len() + 1]
+            } else {
+                let branch_ref_bitops = (branch.total_macs(&head)
+                    * self.cfg.weight_bits.bits() as u64
+                    * Bitwidth::W8.bits() as u64)
+                    .max(1);
+                self.search_branch(&head, branch, &fm_values, branch_ref_bitops, sram_bytes)?
+            };
+            branch_ranges.push(ranges);
+            branch_bits.push(bits);
+        }
+
+        // ---- Tail VDQS over the merged feature maps. ----
+        // The tail's ranges are percentile-clipped (0.1%/99.9%): the
+        // merged maps pool every patch's values, and a min/max range
+        // stretched by rare outlier responses would waste the whole
+        // sub-byte grid on empty tail space — the accuracy collapse mode
+        // of naive post-merge quantization.
+        let tail_fm_values: Vec<Vec<f32>> = (0..tail.feature_map_count())
+            .map(|j| {
+                traces
+                    .iter()
+                    .flat_map(|tr| tr[split + j].data().iter().copied())
+                    .collect()
+            })
+            .collect();
+        let tail_ranges: Vec<(f32, f32)> =
+            tail_fm_values.iter().map(|v| clipped_range(v)).collect();
+        // Entropy must be estimated on the values the deployment will
+        // actually see — clamped into the clipped range — otherwise a
+        // blob-stretched map looks information-free (its bulk occupies one
+        // histogram bin of the raw range) and the search assigns 2-bit to
+        // a map that still carries everything.
+        let tail_fm_values: Vec<Vec<f32>> = tail_fm_values
+            .into_iter()
+            .zip(&tail_ranges)
+            .map(|(values, &(lo, hi))| {
+                values.into_iter().map(|v| v.clamp(lo, hi)).collect()
+            })
+            .collect();
+        let tail_ref_bitops = {
+            let uniform = quantmcu_nn::cost::BitwidthAssignment::uniform(&tail, Bitwidth::W8);
+            quantmcu_nn::cost::total_bitops(&tail, self.cfg.weight_bits, &uniform).max(1)
+        };
+        let mut tail_bits =
+            self.search_tail(&tail, &tail_fm_values, tail_ref_bitops, sram_bytes)?;
+        // The merged stage buffer must not lose information any branch
+        // preserved: it keeps the widest branch stage bitwidth.
+        let widest_stage = branch_bits
+            .iter()
+            .map(|b| *b.last().expect("branches have at least one feature map"))
+            .max()
+            .unwrap_or(Bitwidth::W8);
+        tail_bits[0] = tail_bits[0].max(widest_stage);
+
+        Ok(DeploymentPlan {
+            spec,
+            patch_plan,
+            branches,
+            patch_classes,
+            branch_bits,
+            tail_bits,
+            weight_bits: self.cfg.weight_bits,
+            branch_ranges,
+            tail_ranges,
+            search_time: start.elapsed(),
+        })
+    }
+
+    /// Builds a *uniform* deployment plan at `bits` using the same patch
+    /// schedule and calibration as [`Planner::plan`], skipping VDPC and
+    /// VDQS — the MCUNetV2-style 8-bit baseline the paper compares
+    /// against, runnable through the same [`crate::Deployment`] machinery.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::plan`], minus the search errors.
+    pub fn plan_uniform(
+        &self,
+        graph: &Graph,
+        calibration: &[Tensor],
+        bits: Bitwidth,
+        sram_bytes: usize,
+    ) -> Result<DeploymentPlan, PlanError> {
+        if calibration.is_empty() {
+            return Err(PlanError::NoCalibration);
+        }
+        let start = Instant::now();
+        let spec = graph.spec().clone();
+        let patch_plan = PatchPlan::fitted(&spec, self.cfg.grid, sram_bytes)?;
+        let split = patch_plan.split_at();
+        let (head, tail) = spec.split_at(split)?;
+        let branches = Branch::build_all(&spec, &patch_plan);
+        let exec = FloatExecutor::new(graph);
+        let traces: Vec<Vec<Tensor>> = calibration
+            .iter()
+            .map(|t| exec.run_trace(t))
+            .collect::<Result<_, _>>()?;
+        let mut branch_ranges = Vec::with_capacity(branches.len());
+        for branch in &branches {
+            let fm_values = branch_feature_values(&traces, branch)?;
+            branch_ranges.push(fm_values.iter().map(|v| min_max(v)).collect());
+        }
+        let tail_ranges: Vec<(f32, f32)> = (0..tail.feature_map_count())
+            .map(|j| {
+                let values: Vec<f32> = traces
+                    .iter()
+                    .flat_map(|tr| tr[split + j].data().iter().copied())
+                    .collect();
+                min_max(&values)
+            })
+            .collect();
+        Ok(DeploymentPlan {
+            patch_classes: vec![PatchClass::NonOutlier; branches.len()],
+            branch_bits: vec![vec![bits; head.len() + 1]; branches.len()],
+            tail_bits: vec![bits; tail.feature_map_count()],
+            weight_bits: self.cfg.weight_bits,
+            branch_ranges,
+            tail_ranges,
+            search_time: start.elapsed(),
+            spec,
+            patch_plan,
+            branches,
+        })
+    }
+
+    /// VDQS over one non-outlier branch: score table from region-restricted
+    /// entropy plus branch-exact ΔB, then Algorithm 1 with region byte
+    /// sizes.
+    fn search_branch(
+        &self,
+        head: &GraphSpec,
+        branch: &Branch,
+        fm_values: &[Vec<f32>],
+        total_bitops: u64,
+        sram_bytes: usize,
+    ) -> Result<Vec<Bitwidth>, PlanError> {
+        let et = entropy::build_table(fm_values, &self.cfg.vdqs.candidates, self.cfg.vdqs.hist_bins)?;
+        let w = self.cfg.weight_bits.bits() as u64;
+        let head_len = head.len();
+        // ΔB(i, b): feature map i's consumers within the head (several for
+        // residual joins). The stage output feeds the tail, which is pinned
+        // to 8-bit, so ΔB = 0 for it — which is why branch-final maps
+        // gravitate to 8-bit (Fig. 6).
+        let consumer_macs: Vec<u64> = (0..=head_len)
+            .map(|i| {
+                head.consumers_of(quantmcu_nn::FeatureMapId(i))
+                    .into_iter()
+                    .map(|j| branch.layer_macs(head, j))
+                    .sum()
+            })
+            .collect();
+        let table = ScoreTable::build(
+            &et,
+            |i, b| consumer_macs[i] * w * (8 - b.bits().min(8)) as u64,
+            total_bitops,
+            &self.cfg.vdqs,
+        )?;
+        let ch: Vec<usize> = (0..=head_len)
+            .map(|i| if i == 0 { head.input_shape().c } else { head.node_shape(i - 1).c })
+            .collect();
+        let regions = branch.regions().to_vec();
+        let outcome = vdqs::determine_bitwidths(
+            &table,
+            |i, b| b.bytes_for(regions[i].area() * ch[i]),
+            sram_bytes,
+        )?;
+        Ok(outcome.bitwidths)
+    }
+
+    /// VDQS over the tail's full (merged) feature maps.
+    ///
+    /// The tail search uses a 16x-finer entropy histogram than the branch
+    /// search: branch maps are protected by VDPC and tight per-branch
+    /// ranges, but a tail map serves *every* patch, so its information
+    /// loss must be measured conservatively — with the branch-grade bin
+    /// count, 2-bit tail assignments slip through on maps that still carry
+    /// decision-relevant structure and accuracy collapses.
+    fn search_tail(
+        &self,
+        tail: &GraphSpec,
+        fm_values: &[Vec<f32>],
+        total_bitops: u64,
+        sram_bytes: usize,
+    ) -> Result<Vec<Bitwidth>, PlanError> {
+        // 2-bit is excluded from the tail's candidates: a merged map serves
+        // every patch, and the entropy proxy cannot reliably certify
+        // post-training 2-bit there (it underestimates the harm whenever
+        // the bulk of a distribution concentrates in few bins). Branch maps
+        // keep the full candidate set — they are protected by VDPC and by
+        // tight per-branch calibration ranges.
+        let tail_candidates: Vec<Bitwidth> = self
+            .cfg
+            .vdqs
+            .candidates
+            .iter()
+            .copied()
+            .filter(|b| *b >= Bitwidth::W4)
+            .collect();
+        let tail_cfg = quantmcu_quant::VdqsConfig {
+            candidates: tail_candidates,
+            ..self.cfg.vdqs.clone()
+        };
+        let et = entropy::build_table(
+            fm_values,
+            &tail_cfg.candidates,
+            tail_cfg.hist_bins * 16,
+        )?;
+        let w = self.cfg.weight_bits;
+        let table = ScoreTable::build(
+            &et,
+            |i, b| {
+                quantmcu_nn::cost::bitops_reduction(tail, quantmcu_nn::FeatureMapId(i), b, w)
+            },
+            total_bitops,
+            &tail_cfg,
+        )?;
+        let elems: Vec<usize> = tail
+            .feature_map_ids()
+            .map(|id| tail.feature_map_shape(id).len())
+            .collect();
+        let mut outcome = vdqs::determine_with_elem_counts(&table, &elems, sram_bytes)?;
+        // Tiny late maps (global-pool outputs, logits) offer no memory or
+        // compute savings worth their precision loss; the paper's Fig. 6
+        // likewise shows branch/network ends at 8-bit. Pin them.
+        for (bits, &n) in outcome.bitwidths.iter_mut().zip(&elems) {
+            if n <= 2048 {
+                *bits = Bitwidth::W8;
+            }
+        }
+        if let Some(last) = outcome.bitwidths.last_mut() {
+            *last = Bitwidth::W8;
+        }
+        Ok(outcome.bitwidths)
+    }
+}
+
+/// The 0.1%/99.9% percentile range of a sample (falls back to min/max for
+/// tiny samples).
+fn clipped_range(values: &[f32]) -> (f32, f32) {
+    if values.len() < 1000 {
+        return min_max(values);
+    }
+    // Subsample for the sort; percentiles of 65k values are plenty stable.
+    let stride = (values.len() / 65_536).max(1);
+    let mut sample: Vec<f32> = values.iter().step_by(stride).copied().collect();
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo = sample[(sample.len() as f64 * 0.001) as usize];
+    let hi = sample[((sample.len() as f64 * 0.999) as usize).min(sample.len() - 1)];
+    if lo < hi {
+        (lo, hi)
+    } else {
+        min_max(values)
+    }
+}
+
+/// Region-restricted values of every branch feature map, concatenated over
+/// the calibration traces.
+fn branch_feature_values(
+    traces: &[Vec<Tensor>],
+    branch: &Branch,
+) -> Result<Vec<Vec<f32>>, PlanError> {
+    let regions = branch.regions();
+    let mut out = Vec::with_capacity(regions.len());
+    for (i, &region) in regions.iter().enumerate() {
+        let mut values = Vec::new();
+        for tr in traces {
+            values.extend_from_slice(tr[i].crop(region)?.data());
+        }
+        out.push(values);
+    }
+    Ok(out)
+}
+
+fn min_max(values: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::Shape;
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .dwconv(3, 1, 1)
+            .relu6()
+            .pwconv(16)
+            .relu6()
+            .conv2d(24, 3, 2, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 13)
+    }
+
+    fn calib(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|s| {
+                Tensor::from_fn(Shape::hwc(16, 16, 3), |i| {
+                    let base = ((i + 311 * s) as f32 * 0.23).sin() * 0.5;
+                    // A bright top-left blob in half the images drives the
+                    // corresponding patch into the outlier class.
+                    let (y, x) = ((i / 3) / 16, (i / 3) % 16);
+                    if s % 2 == 0 && y < 4 && x < 4 {
+                        base + 8.0
+                    } else {
+                        base
+                    }
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_reduces_bitops_versus_8bit_patching() {
+        let g = graph();
+        let plan = Planner::new(QuantMcuConfig::paper())
+            .plan(&g, &calib(4), 256 * 1024)
+            .unwrap();
+        assert!(
+            plan.bitops() < plan.baseline_patch_bitops(),
+            "{} !< {}",
+            plan.bitops(),
+            plan.baseline_patch_bitops()
+        );
+    }
+
+    #[test]
+    fn vdpc_marks_bright_patches_as_outliers() {
+        let g = graph();
+        let plan = Planner::new(QuantMcuConfig::paper())
+            .plan(&g, &calib(4), 256 * 1024)
+            .unwrap();
+        // The injected bright spots must put at least one patch in the
+        // outlier class, and that branch must stay all-8-bit.
+        assert!(plan.outlier_patch_count() >= 1, "classes: {:?}", plan.patch_classes);
+        for (class, bits) in plan.patch_classes.iter().zip(&plan.branch_bits) {
+            if *class == PatchClass::Outlier {
+                assert!(bits.iter().all(|&b| b == Bitwidth::W8), "outlier branch: {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_vdpc_everything_is_searched() {
+        let g = graph();
+        let plan = Planner::new(QuantMcuConfig::without_vdpc())
+            .plan(&g, &calib(4), 256 * 1024)
+            .unwrap();
+        assert_eq!(plan.outlier_patch_count(), 0);
+        // More aggressive quantization than the VDPC-protected plan.
+        let protected = Planner::new(QuantMcuConfig::paper())
+            .plan(&g, &calib(4), 256 * 1024)
+            .unwrap();
+        assert!(plan.bitops() <= protected.bitops());
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let g = graph();
+        assert!(matches!(
+            Planner::new(QuantMcuConfig::paper()).plan(&g, &[], 256 * 1024),
+            Err(PlanError::NoCalibration)
+        ));
+    }
+
+    #[test]
+    fn plan_metrics_are_consistent() {
+        let g = graph();
+        let plan = Planner::new(QuantMcuConfig::paper())
+            .plan(&g, &calib(3), 256 * 1024)
+            .unwrap();
+        assert!(plan.peak_memory_bytes().unwrap() > 0);
+        let dev = quantmcu_mcusim::Device::nano33_ble_sense();
+        assert!(plan.latency(&dev).unwrap() > std::time::Duration::ZERO);
+        assert!(plan.mean_branch_bits() >= 2.0 && plan.mean_branch_bits() <= 8.0);
+        assert_eq!(plan.branch_bits.len(), plan.patch_plan().branch_count());
+    }
+
+    #[test]
+    fn tight_budget_lowers_memory() {
+        let g = graph();
+        let planner = Planner::new(QuantMcuConfig::paper());
+        let loose = planner.plan(&g, &calib(3), 10 * 1024 * 1024).unwrap();
+        let tight = planner.plan(&g, &calib(3), 2 * 1024).unwrap();
+        assert!(
+            tight.peak_memory_bytes().unwrap() <= loose.peak_memory_bytes().unwrap()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+use std::time::Duration;
+
+use quantmcu_mcusim::{Device, LatencyModel};
+use quantmcu_nn::cost::{self, BitwidthAssignment};
+use quantmcu_nn::GraphSpec;
+use quantmcu_patch::{memory, Branch, PatchError, PatchPlan};
+use quantmcu_quant::vdpc::PatchClass;
+use quantmcu_tensor::Bitwidth;
+
+/// The artifact QuantMCU produces: where to split, how each branch and the
+/// tail are quantized, and what that costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    pub(crate) spec: GraphSpec,
+    pub(crate) patch_plan: PatchPlan,
+    pub(crate) branches: Vec<Branch>,
+    /// VDPC verdict per patch (row-major).
+    pub patch_classes: Vec<PatchClass>,
+    /// Per-branch feature-map bitwidths (head length + 1 each).
+    pub branch_bits: Vec<Vec<Bitwidth>>,
+    /// Tail feature-map bitwidths (tail input first).
+    pub tail_bits: Vec<Bitwidth>,
+    /// Deployed weight bitwidth.
+    pub weight_bits: Bitwidth,
+    /// Calibrated `(min, max)` per branch feature map.
+    pub(crate) branch_ranges: Vec<Vec<(f32, f32)>>,
+    /// Calibrated `(min, max)` per tail feature map.
+    pub(crate) tail_ranges: Vec<(f32, f32)>,
+    /// Wall-clock of the whole search (the Table II "Time" measurement).
+    pub search_time: Duration,
+}
+
+impl DeploymentPlan {
+    /// The underlying network spec.
+    pub fn spec(&self) -> &GraphSpec {
+        &self.spec
+    }
+
+    /// The patch schedule.
+    pub fn patch_plan(&self) -> &PatchPlan {
+        &self.patch_plan
+    }
+
+    /// The dataflow branches (row-major).
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// The per-patch head spec.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for plans produced by [`crate::Planner`].
+    pub fn head(&self) -> GraphSpec {
+        self.spec.split_at(self.patch_plan.split_at()).expect("validated split").0
+    }
+
+    /// The post-merge tail spec.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for plans produced by [`crate::Planner`].
+    pub fn tail(&self) -> GraphSpec {
+        self.spec.split_at(self.patch_plan.split_at()).expect("validated split").1
+    }
+
+    /// Whole-network BitOPs under this plan: branch-region-exact head
+    /// BitOPs plus the tail's assignment BitOPs (the Table I metric).
+    pub fn bitops(&self) -> u64 {
+        let head = self.head();
+        let tail = self.tail();
+        let w = self.weight_bits.bits() as u64;
+        let mut total = 0u64;
+        for (branch, bits) in self.branches.iter().zip(&self.branch_bits) {
+            for i in 0..head.len() {
+                total += branch.layer_macs(&head, i) * w * bits[i].bits() as u64;
+            }
+        }
+        let tail_assignment = BitwidthAssignment::from_vec(&tail, self.tail_bits.clone());
+        total + cost::total_bitops(&tail, self.weight_bits, &tail_assignment)
+    }
+
+    /// BitOPs of the same patch schedule at uniform 8-bit — the MCUNetV2
+    /// baseline this plan is improving on.
+    pub fn baseline_patch_bitops(&self) -> u64 {
+        let head = self.head();
+        let tail = self.tail();
+        let w = self.weight_bits.bits() as u64;
+        let mut total = 0u64;
+        for branch in &self.branches {
+            total += branch.total_macs(&head) * w * 8;
+        }
+        let tail_assignment = BitwidthAssignment::uniform(&tail, Bitwidth::W8);
+        total + cost::total_bitops(&tail, self.weight_bits, &tail_assignment)
+    }
+
+    /// Peak SRAM under this plan (the Table I metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError`] only for internally inconsistent plans.
+    pub fn peak_memory_bytes(&self) -> Result<usize, PatchError> {
+        memory::patch_peak_bytes(&self.spec, &self.patch_plan, &self.branch_bits, &self.tail_bits)
+    }
+
+    /// Modeled inference latency on `device` (the Table I metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError`] only for internally inconsistent plans.
+    pub fn latency(&self, device: &Device) -> Result<Duration, PatchError> {
+        LatencyModel::new(*device).patch_based(
+            &self.spec,
+            &self.patch_plan,
+            &self.branch_bits,
+            &self.tail_bits,
+            self.weight_bits,
+        )
+    }
+
+    /// Number of outlier-class patches.
+    pub fn outlier_patch_count(&self) -> usize {
+        self.patch_classes.iter().filter(|c| **c == PatchClass::Outlier).count()
+    }
+
+    /// The average activation bitwidth across all branch feature maps —
+    /// the Fig. 6 summary statistic.
+    pub fn mean_branch_bits(&self) -> f64 {
+        let total: u64 = self
+            .branch_bits
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|b| b.bits() as u64)
+            .sum();
+        let count: usize = self.branch_bits.iter().map(Vec::len).sum();
+        if count == 0 {
+            return 0.0;
+        }
+        total as f64 / count as f64
+    }
+}

@@ -1,0 +1,169 @@
+//! The ImageNet proxy: deterministic class-conditioned texture images.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use quantmcu_tensor::{Shape, Tensor};
+
+/// A deterministic synthetic classification dataset.
+///
+/// Every sample is generated on demand from `(seed, index)`, so datasets
+/// of any size cost no memory. Images combine:
+///
+/// * a class prototype — an oriented sinusoid whose frequency, angle and
+///   RGB bias identify the class;
+/// * pixel noise;
+/// * with probability ~30%, a bright specular blob — the heavy-tail
+///   content that produces genuine activation outliers (the Fig. 2a
+///   regime).
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_data::classification::ClassificationDataset;
+///
+/// let ds = ClassificationDataset::new(32, 10, 42);
+/// let (image, label) = ds.sample(0);
+/// assert_eq!(image.shape().c, 3);
+/// assert!(label < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassificationDataset {
+    resolution: usize,
+    classes: usize,
+    seed: u64,
+}
+
+impl ClassificationDataset {
+    /// Creates a dataset of `classes` classes at `resolution`² RGB.
+    pub fn new(resolution: usize, classes: usize, seed: u64) -> Self {
+        ClassificationDataset { resolution, classes, seed }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The image shape.
+    pub fn image_shape(&self) -> Shape {
+        Shape::hwc(self.resolution, self.resolution, 3)
+    }
+
+    /// Generates sample `index`: a `(image, label)` pair.
+    pub fn sample(&self, index: usize) -> (Tensor, usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let label = index % self.classes;
+        let image = self.render(label, &mut rng);
+        (image, label)
+    }
+
+    /// Generates the first `n` samples.
+    pub fn batch(&self, n: usize) -> Vec<(Tensor, usize)> {
+        (0..n).map(|i| self.sample(i)).collect()
+    }
+
+    /// Just the images of the first `n` samples (calibration sets).
+    pub fn images(&self, n: usize) -> Vec<Tensor> {
+        (0..n).map(|i| self.sample(i).0).collect()
+    }
+
+    fn render(&self, label: usize, rng: &mut StdRng) -> Tensor {
+        let res = self.resolution;
+        // Class prototype parameters, deterministic in the label, with
+        // per-image jitter so samples sit at varying distances from the
+        // (implicit) decision boundaries — without jitter every logit
+        // margin is huge and no quantization level ever flips an argmax.
+        let freq = (0.2 + 0.15 * (label % 5) as f32) * rng.gen_range(0.75..1.3);
+        let angle = (label % 8) as f32 * std::f32::consts::PI / 8.0
+            + rng.gen_range(-0.25..0.25f32);
+        let (ca, sa) = (angle.cos(), angle.sin());
+        let bias_jitter: f32 = rng.gen_range(0.5..1.4);
+        let bias = [
+            (((label * 37) % 100) as f32 / 100.0 - 0.5) * 0.3 * bias_jitter,
+            (((label * 59) % 100) as f32 / 100.0 - 0.5) * 0.3 * bias_jitter,
+            (((label * 83) % 100) as f32 / 100.0 - 0.5) * 0.3 * bias_jitter,
+        ];
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        // Blobs are the heavy-tail content: the bulk stays within roughly
+        // ±0.45 while blob peaks span a *spectrum* of magnitudes, so the
+        // VDPC φ sweep has weak outliers to gain/lose as the band moves
+        // (the Fig. 5 knee needs that spectrum). The amplitude is
+        // label-conditioned: outlier values *carry class information*,
+        // the premise behind VDPC — crushing them with coarse grids costs
+        // accuracy on blob-bearing images.
+        let has_blob = rng.gen_range(0.0..1.0f32) < 0.45;
+        let blob_gain: f32 =
+            0.6 + 2.2 * ((label * 37) % 10) as f32 / 10.0 + rng.gen_range(0.0..0.4f32);
+        let blob_y = rng.gen_range(0..res) as f32;
+        let blob_x = rng.gen_range(0..res) as f32;
+        let blob_r = res as f32 * 0.08 + 1.0;
+
+        let mut t = Tensor::zeros(self.image_shape());
+        for y in 0..res {
+            for x in 0..res {
+                let u = ca * x as f32 + sa * y as f32;
+                let texture = (u * freq + phase).sin() * 0.25;
+                let blob = if has_blob {
+                    let d2 = (y as f32 - blob_y).powi(2) + (x as f32 - blob_x).powi(2);
+                    blob_gain * (-d2 / (blob_r * blob_r)).exp()
+                } else {
+                    0.0
+                };
+                for c in 0..3 {
+                    let noise: f32 = rng.gen_range(-0.05..0.05);
+                    t.set(0, y, x, c, texture + bias[c] + noise + blob);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic() {
+        let ds = ClassificationDataset::new(16, 5, 7);
+        let (a, la) = ds.sample(3);
+        let (b, lb) = ds.sample(3);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let ds = ClassificationDataset::new(16, 4, 0);
+        let labels: Vec<usize> = (0..8).map(|i| ds.sample(i).1).collect();
+        assert_eq!(labels, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn different_classes_produce_different_images() {
+        let ds = ClassificationDataset::new(16, 10, 7);
+        let (a, _) = ds.sample(0);
+        let (b, _) = ds.sample(1);
+        assert!(a.mean_abs_diff(&b) > 0.05);
+    }
+
+    #[test]
+    fn some_images_carry_bright_blobs() {
+        let ds = ClassificationDataset::new(24, 10, 3);
+        let maxes: Vec<f32> = (0..40)
+            .map(|i| ds.sample(i).0.data().iter().fold(f32::MIN, |m, &v| m.max(v)))
+            .collect();
+        let bright = maxes.iter().filter(|&&m| m > 2.0).count();
+        assert!(bright > 3, "expected blob images, found {bright}");
+        assert!(bright < 30, "blobs should be a minority, found {bright}");
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let ds = ClassificationDataset::new(16, 3, 11);
+        for i in 0..6 {
+            assert!(ds.sample(i).0.data().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The Pascal-VOC proxy: shape scenes, SSD-grid decoding and NMS.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use quantmcu_models::DetectionSpec;
+use quantmcu_tensor::{Shape, Tensor};
+
+/// An axis-aligned box in normalized `[0, 1]` image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: f32,
+    /// Top edge.
+    pub y0: f32,
+    /// Right edge.
+    pub x1: f32,
+    /// Bottom edge.
+    pub y1: f32,
+}
+
+impl BBox {
+    /// Box area (zero for degenerate boxes).
+    pub fn area(&self) -> f32 {
+        (self.x1 - self.x0).max(0.0) * (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let ix = (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0.0);
+        let iy = (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0.0);
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// A ground-truth object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// The object's box.
+    pub bbox: BBox,
+    /// The object's class.
+    pub class: usize,
+}
+
+/// A scored detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The predicted box.
+    pub bbox: BBox,
+    /// The predicted class.
+    pub class: usize,
+    /// Confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// One synthetic scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionSample {
+    /// The rendered image.
+    pub image: Tensor,
+    /// Its ground-truth objects.
+    pub objects: Vec<GroundTruth>,
+}
+
+/// A deterministic synthetic detection dataset: 1-3 colored rectangles per
+/// scene on a textured background; the rectangle's color channel encodes
+/// its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionDataset {
+    resolution: usize,
+    classes: usize,
+    seed: u64,
+}
+
+impl DetectionDataset {
+    /// Creates a dataset at `resolution`² RGB with `classes` object
+    /// classes.
+    pub fn new(resolution: usize, classes: usize, seed: u64) -> Self {
+        DetectionDataset { resolution, classes, seed }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Generates scene `index`.
+    pub fn sample(&self, index: usize) -> DetectionSample {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let res = self.resolution;
+        let mut image = Tensor::from_fn(Shape::hwc(res, res, 3), |_| 0.0);
+        // Textured background.
+        for v in image.data_mut() {
+            *v = rng.gen_range(-0.2..0.2);
+        }
+        let count = rng.gen_range(1..=3usize);
+        let mut objects = Vec::with_capacity(count);
+        for _ in 0..count {
+            let class = rng.gen_range(0..self.classes);
+            let w = rng.gen_range(0.2..0.45f32);
+            let h = rng.gen_range(0.2..0.45f32);
+            let x0 = rng.gen_range(0.0..(1.0 - w));
+            let y0 = rng.gen_range(0.0..(1.0 - h));
+            let bbox = BBox { x0, y0, x1: x0 + w, y1: y0 + h };
+            // Paint the rectangle: intensity in the class-coded channel.
+            let ch = class % 3;
+            let gain = 1.5 + 0.5 * (class / 3) as f32;
+            let (py0, py1) = ((y0 * res as f32) as usize, (bbox.y1 * res as f32) as usize);
+            let (px0, px1) = ((x0 * res as f32) as usize, (bbox.x1 * res as f32) as usize);
+            for y in py0..py1.min(res) {
+                for x in px0..px1.min(res) {
+                    let v = image.at(0, y, x, ch);
+                    image.set(0, y, x, ch, v + gain);
+                }
+            }
+            objects.push(GroundTruth { bbox, class });
+        }
+        DetectionSample { image, objects }
+    }
+
+    /// Generates the first `n` scenes.
+    pub fn batch(&self, n: usize) -> Vec<DetectionSample> {
+        (0..n).map(|i| self.sample(i)).collect()
+    }
+}
+
+/// Decodes an SSD-style output map into detections.
+///
+/// Per grid cell and anchor, channels are `[dx, dy, dw, dh, objectness,
+/// class scores...]`: the box center is the cell center offset by
+/// `tanh(dx/dy)/2` cell sizes, the extent is an anchor-relative
+/// exponential, and the confidence is `sigmoid(objectness)` times the
+/// softmax class probability. Detections below `score_threshold` are
+/// dropped.
+///
+/// # Panics
+///
+/// Panics when `output`'s shape disagrees with `det`.
+pub fn decode(output: &Tensor, det: &DetectionSpec, score_threshold: f32) -> Vec<Detection> {
+    let s = output.shape();
+    assert_eq!(s.h, det.grid_h, "grid height");
+    assert_eq!(s.w, det.grid_w, "grid width");
+    assert_eq!(s.c, det.channels(), "channels");
+    let per_anchor = 5 + det.classes;
+    let mut out = Vec::new();
+    for gy in 0..det.grid_h {
+        for gx in 0..det.grid_w {
+            for a in 0..det.anchors {
+                let base = a * per_anchor;
+                let read = |k: usize| output.at(0, gy, gx, base + k);
+                let cx = (gx as f32 + 0.5 + 0.5 * read(0).tanh()) / det.grid_w as f32;
+                let cy = (gy as f32 + 0.5 + 0.5 * read(1).tanh()) / det.grid_h as f32;
+                // Anchor scale grows with the anchor index.
+                let anchor_scale = 0.25 * (1.0 + a as f32 * 0.5);
+                let w = (anchor_scale * (read(2) * 0.5).exp()).min(1.0);
+                let h = (anchor_scale * (read(3) * 0.5).exp()).min(1.0);
+                let obj = sigmoid(read(4));
+                // Softmax over class logits.
+                let logits: Vec<f32> = (0..det.classes).map(|c| read(5 + c)).collect();
+                let max_logit = logits.iter().fold(f32::MIN, |m, &v| m.max(v));
+                let exps: Vec<f32> = logits.iter().map(|&v| (v - max_logit).exp()).collect();
+                let denom: f32 = exps.iter().sum();
+                let (class, &best) = exps
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("at least one class");
+                let score = obj * best / denom.max(1e-9);
+                if score >= score_threshold {
+                    out.push(Detection {
+                        bbox: BBox {
+                            x0: (cx - w / 2.0).max(0.0),
+                            y0: (cy - h / 2.0).max(0.0),
+                            x1: (cx + w / 2.0).min(1.0),
+                            y1: (cy + h / 2.0).min(1.0),
+                        },
+                        class,
+                        score,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedy per-class non-maximum suppression.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections
+        .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<Detection> = Vec::new();
+    for d in detections {
+        let suppressed = keep
+            .iter()
+            .any(|k| k.class == d.class && k.bbox.iou(&d.bbox) > iou_threshold);
+        if !suppressed {
+            keep.push(d);
+        }
+    }
+    keep
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_of_identical_boxes_is_one() {
+        let b = BBox { x0: 0.1, y0: 0.1, x1: 0.5, y1: 0.5 };
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_of_disjoint_boxes_is_zero() {
+        let a = BBox { x0: 0.0, y0: 0.0, x1: 0.2, y1: 0.2 };
+        let b = BBox { x0: 0.5, y0: 0.5, x1: 0.9, y1: 0.9 };
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_of_half_overlap() {
+        let a = BBox { x0: 0.0, y0: 0.0, x1: 0.4, y1: 0.4 };
+        let b = BBox { x0: 0.2, y0: 0.0, x1: 0.6, y1: 0.4 };
+        // intersection 0.2*0.4 = 0.08; union 0.32 - wait: 0.16+0.16-0.08 = 0.24.
+        assert!((a.iou(&b) - 0.08 / 0.24).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scenes_are_deterministic_with_objects() {
+        let ds = DetectionDataset::new(32, 5, 9);
+        let a = ds.sample(2);
+        let b = ds.sample(2);
+        assert_eq!(a, b);
+        assert!(!a.objects.is_empty() && a.objects.len() <= 3);
+        for o in &a.objects {
+            assert!(o.bbox.area() > 0.0);
+            assert!(o.class < 5);
+        }
+    }
+
+    #[test]
+    fn decode_respects_threshold_and_shapes() {
+        let det = DetectionSpec { grid_h: 2, grid_w: 2, anchors: 2, classes: 3 };
+        let t = Tensor::full(Shape::hwc(2, 2, det.channels()), 0.5);
+        let all = decode(&t, &det, 0.0);
+        assert_eq!(all.len(), det.total_boxes());
+        let none = decode(&t, &det, 1.1);
+        assert!(none.is_empty());
+        for d in &all {
+            assert!(d.bbox.x0 >= 0.0 && d.bbox.x1 <= 1.0);
+            assert!(d.score > 0.0 && d.score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn nms_suppresses_same_class_duplicates() {
+        let b = BBox { x0: 0.1, y0: 0.1, x1: 0.5, y1: 0.5 };
+        let nearly = BBox { x0: 0.12, y0: 0.1, x1: 0.52, y1: 0.5 };
+        let other = BBox { x0: 0.6, y0: 0.6, x1: 0.9, y1: 0.9 };
+        let kept = nms(
+            vec![
+                Detection { bbox: b, class: 0, score: 0.9 },
+                Detection { bbox: nearly, class: 0, score: 0.7 },
+                Detection { bbox: nearly, class: 1, score: 0.6 },
+                Detection { bbox: other, class: 0, score: 0.5 },
+            ],
+            0.5,
+        );
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().any(|d| d.class == 1), "other classes survive");
+        assert!(kept.iter().any(|d| (d.bbox.x0 - 0.6).abs() < 1e-6), "disjoint box survives");
+    }
+}

@@ -1,0 +1,199 @@
+use crate::detection::{Detection, GroundTruth};
+
+/// Average precision of one class over a set of images, using all-point
+/// interpolation (the VOC 2010+ protocol): detections are ranked by score,
+/// each is matched greedily to an unmatched ground truth with IoU ≥
+/// `iou_threshold`, and AP is the area under the interpolated
+/// precision-recall curve.
+///
+/// `detections[i]` / `truths[i]` belong to image `i`. Returns `None` when
+/// the class has no ground-truth instances (the VOC convention is to skip
+/// such classes in the mean).
+pub fn average_precision(
+    detections: &[Vec<Detection>],
+    truths: &[Vec<GroundTruth>],
+    class: usize,
+    iou_threshold: f32,
+) -> Option<f64> {
+    assert_eq!(detections.len(), truths.len(), "one detection list per image");
+    let total_gt: usize = truths
+        .iter()
+        .map(|t| t.iter().filter(|g| g.class == class).count())
+        .sum();
+    if total_gt == 0 {
+        return None;
+    }
+    // Flatten detections of this class with their image ids.
+    let mut dets: Vec<(usize, Detection)> = detections
+        .iter()
+        .enumerate()
+        .flat_map(|(img, ds)| {
+            ds.iter().filter(|d| d.class == class).map(move |&d| (img, d))
+        })
+        .collect();
+    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut matched: Vec<Vec<bool>> =
+        truths.iter().map(|t| vec![false; t.len()]).collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f64, f64)> = Vec::with_capacity(dets.len()); // (recall, precision)
+    for (img, det) in dets {
+        let gts = &truths[img];
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            if gt.class != class || matched[img][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[img][gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        curve.push((tp as f64 / total_gt as f64, tp as f64 / (tp + fp) as f64));
+    }
+    // All-point interpolation: integrate precision envelope over recall.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for i in 0..curve.len() {
+        let max_prec = curve[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0f64, f64::max);
+        let (recall, _) = curve[i];
+        ap += (recall - prev_recall) * max_prec;
+        prev_recall = recall;
+    }
+    Some(ap)
+}
+
+/// Mean average precision over all classes with ground truth.
+pub fn mean_average_precision(
+    detections: &[Vec<Detection>],
+    truths: &[Vec<GroundTruth>],
+    classes: usize,
+    iou_threshold: f32,
+) -> f64 {
+    let aps: Vec<f64> = (0..classes)
+        .filter_map(|c| average_precision(detections, truths, c, iou_threshold))
+        .collect();
+    if aps.is_empty() {
+        return 0.0;
+    }
+    aps.iter().sum::<f64>() / aps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::BBox;
+
+    fn b(x0: f32, y0: f32, x1: f32, y1: f32) -> BBox {
+        BBox { x0, y0, x1, y1 }
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let gt = vec![vec![
+            GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 },
+            GroundTruth { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0 },
+        ]];
+        let dets = vec![vec![
+            Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 },
+            Detection { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0, score: 0.8 },
+        ]];
+        let ap = average_precision(&dets, &gt, 0, 0.5).unwrap();
+        assert!((ap - 1.0).abs() < 1e-9);
+        assert!((mean_average_precision(&dets, &gt, 1, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_objects_cap_recall() {
+        let gt = vec![vec![
+            GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 },
+            GroundTruth { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0 },
+        ]];
+        // Only one of two objects found.
+        let dets = vec![vec![Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 }]];
+        let ap = average_precision(&dets, &gt, 0, 0.5).unwrap();
+        assert!((ap - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 }]];
+        let perfect = vec![vec![Detection {
+            bbox: b(0.1, 0.1, 0.4, 0.4),
+            class: 0,
+            score: 0.9,
+        }]];
+        let noisy = vec![vec![
+            Detection { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0, score: 0.95 }, // FP outranks TP
+            Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 },
+        ]];
+        let ap_perfect = average_precision(&perfect, &gt, 0, 0.5).unwrap();
+        let ap_noisy = average_precision(&noisy, &gt, 0, 0.5).unwrap();
+        assert!(ap_noisy < ap_perfect);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        // Two objects; a duplicate of the first object outranks the second
+        // object's detection, so it must register as a false positive and
+        // drag the precision at full recall below 1.
+        let gt = vec![vec![
+            GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 },
+            GroundTruth { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0 },
+        ]];
+        let dets = vec![vec![
+            Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 },
+            Detection { bbox: b(0.11, 0.1, 0.41, 0.4), class: 0, score: 0.85 }, // duplicate
+            Detection { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0, score: 0.8 },
+        ]];
+        let ap = average_precision(&dets, &gt, 0, 0.5).unwrap();
+        // Exact value: 0.5·1 + 0.5·(2/3).
+        assert!((ap - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-9, "ap = {ap}");
+    }
+
+    #[test]
+    fn trailing_false_positives_do_not_reduce_voc_ap() {
+        let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 }]];
+        let dets = vec![vec![
+            Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 },
+            Detection { bbox: b(0.11, 0.1, 0.41, 0.4), class: 0, score: 0.8 },
+        ]];
+        let ap = average_precision(&dets, &gt, 0, 0.5).unwrap();
+        assert!((ap - 1.0).abs() < 1e-9, "full recall reached at precision 1: {ap}");
+    }
+
+    #[test]
+    fn absent_classes_are_skipped_in_the_mean() {
+        let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 }]];
+        let dets = vec![vec![Detection {
+            bbox: b(0.1, 0.1, 0.4, 0.4),
+            class: 0,
+            score: 0.9,
+        }]];
+        assert!(average_precision(&dets, &gt, 3, 0.5).is_none());
+        // mAP over 4 classes equals AP of the single present class.
+        assert!((mean_average_precision(&dets, &gt, 4, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_class_detections_never_match() {
+        let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 1 }]];
+        let dets = vec![vec![Detection {
+            bbox: b(0.1, 0.1, 0.4, 0.4),
+            class: 0,
+            score: 0.9,
+        }]];
+        assert!(average_precision(&dets, &gt, 1, 0.5).unwrap() == 0.0);
+    }
+}

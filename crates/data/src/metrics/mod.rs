@@ -1,0 +1,8 @@
+//! Evaluation metrics: Top-k classification accuracy, mAP for detection,
+//! and float-vs-quantized agreement.
+
+mod map;
+mod topk;
+
+pub use map::{average_precision, mean_average_precision};
+pub use topk::{agreement_top1, top_k_accuracy};

@@ -1,0 +1,94 @@
+//! Per-layer cycle model of the CMSIS-NN / CMix-NN kernel stack.
+//!
+//! Throughput depends on operand bitwidths: int8 kernels hit the core's
+//! SIMD peak; sub-byte CMix-NN kernels move fewer bytes (more values per
+//! load) but pay an unpack penalty, so their speedup over int8 is real yet
+//! sub-linear — 4-bit ≈ 1.35×, 2-bit ≈ 1.8× int8 throughput, matching the
+//! regime reported for CMix-NN on Cortex-M. Per-output-element
+//! requantization and per-kernel-invocation dispatch overheads are modeled
+//! explicitly; the dispatch term is what makes many small patch kernels
+//! slower than one big layer kernel even at equal MACs.
+
+use quantmcu_tensor::Bitwidth;
+
+use crate::device::Core;
+
+/// Requantization + activation cycles per produced output element.
+pub const CYCLES_PER_OUTPUT_ELEM: f64 = 4.0;
+
+/// Fixed cycles per kernel invocation (argument marshalling, im2col setup).
+pub const CYCLES_PER_DISPATCH: f64 = 2_000.0;
+
+/// Throughput ratio of a region-restricted (per-patch) kernel to a
+/// whole-layer kernel at the same MAC count: small tiles lose im2col
+/// reuse and cache locality. Fitted to the patch-overhead regime MCUNetV2
+/// reports (whole-network +8–20% at 3×3/4×4 grids).
+pub const PATCH_KERNEL_EFFICIENCY: f64 = 0.85;
+
+/// Relative throughput multiplier of a sub-byte activation bitwidth over
+/// int8 (weights stay 8-bit in the QuantMCU deployment; mixed weight
+/// bitwidths combine multiplicatively through the same table).
+fn sub_byte_speedup(bits: Bitwidth) -> f64 {
+    match bits {
+        Bitwidth::W2 => 1.8,
+        Bitwidth::W4 => 1.35,
+        Bitwidth::W8 => 1.0,
+        // 16/32-bit run the plain (non-SIMD-packed) path.
+        Bitwidth::W16 => 0.5,
+        Bitwidth::W32 => 0.25,
+    }
+}
+
+/// Effective multiply-accumulates per cycle for a kernel consuming
+/// `a_bits` activations and `w_bits` weights on `core`.
+pub fn macs_per_cycle(core: Core, w_bits: Bitwidth, a_bits: Bitwidth) -> f64 {
+    core.int8_macs_per_cycle() * sub_byte_speedup(a_bits) * sub_byte_speedup(w_bits).sqrt()
+}
+
+/// Cycles for one kernel invocation.
+pub fn kernel_cycles(
+    core: Core,
+    macs: u64,
+    output_elems: u64,
+    w_bits: Bitwidth,
+    a_bits: Bitwidth,
+) -> f64 {
+    macs as f64 / macs_per_cycle(core, w_bits, a_bits)
+        + output_elems as f64 * CYCLES_PER_OUTPUT_ELEM
+        + CYCLES_PER_DISPATCH
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrower_activations_are_faster_but_sublinear() {
+        let c = Core::CortexM4;
+        let t8 = macs_per_cycle(c, Bitwidth::W8, Bitwidth::W8);
+        let t4 = macs_per_cycle(c, Bitwidth::W8, Bitwidth::W4);
+        let t2 = macs_per_cycle(c, Bitwidth::W8, Bitwidth::W2);
+        assert!(t2 > t4 && t4 > t8);
+        // Sub-linear: 2-bit is not 4x faster than 8-bit.
+        assert!(t2 / t8 < 4.0);
+    }
+
+    #[test]
+    fn dispatch_overhead_penalizes_many_small_kernels() {
+        let c = Core::CortexM4;
+        let one_big = kernel_cycles(c, 1_000_000, 10_000, Bitwidth::W8, Bitwidth::W8);
+        let many_small: f64 = (0..16)
+            .map(|_| kernel_cycles(c, 1_000_000 / 16, 10_000 / 16, Bitwidth::W8, Bitwidth::W8))
+            .sum();
+        assert!(many_small > one_big);
+    }
+
+    #[test]
+    fn full_precision_paths_are_slowest() {
+        let c = Core::CortexM7;
+        assert!(
+            macs_per_cycle(c, Bitwidth::W32, Bitwidth::W32)
+                < macs_per_cycle(c, Bitwidth::W8, Bitwidth::W8)
+        );
+    }
+}

@@ -1,0 +1,215 @@
+use std::time::Duration;
+
+use quantmcu_nn::cost::{self, BitwidthAssignment};
+use quantmcu_nn::GraphSpec;
+use quantmcu_patch::{Branch, PatchError, PatchPlan};
+use quantmcu_tensor::Bitwidth;
+
+use crate::cycles;
+use crate::device::Device;
+
+/// Whole-network latency model for one device.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_mcusim::{Device, LatencyModel};
+/// use quantmcu_nn::cost::BitwidthAssignment;
+/// use quantmcu_nn::GraphSpecBuilder;
+/// use quantmcu_tensor::{Bitwidth, Shape};
+///
+/// let spec = GraphSpecBuilder::new(Shape::hwc(32, 32, 3))
+///     .conv2d(8, 3, 2, 1)
+///     .global_avg_pool()
+///     .dense(10)
+///     .build()?;
+/// let model = LatencyModel::new(Device::nano33_ble_sense());
+/// let a = BitwidthAssignment::uniform(&spec, Bitwidth::W8);
+/// assert!(model.layer_based(&spec, &a, Bitwidth::W8) > std::time::Duration::ZERO);
+/// # Ok::<(), quantmcu_nn::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    device: Device,
+}
+
+impl LatencyModel {
+    /// A model for `device`.
+    pub fn new(device: Device) -> Self {
+        LatencyModel { device }
+    }
+
+    /// The device being modeled.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    fn to_duration(&self, cyc: f64) -> Duration {
+        Duration::from_secs_f64(cyc / self.device.clock_hz * self.device.calibration)
+    }
+
+    /// Latency of layer-based execution under an activation assignment.
+    pub fn layer_based(
+        &self,
+        spec: &GraphSpec,
+        assignment: &BitwidthAssignment,
+        weight_bits: Bitwidth,
+    ) -> Duration {
+        let mut cyc = 0.0;
+        for i in 0..spec.len() {
+            let a_bits = assignment.of(spec.nodes()[i].inputs[0].feature_map());
+            cyc += cycles::kernel_cycles(
+                self.device.core,
+                cost::node_macs(spec, i),
+                spec.node_shape(i).len() as u64,
+                weight_bits,
+                a_bits,
+            );
+        }
+        self.to_duration(cyc)
+    }
+
+    /// Latency of patch-based execution: per-branch region kernels (each a
+    /// separate dispatch) plus the layer-based tail.
+    ///
+    /// `branch_bits[b]` assigns branch `b`'s feature maps (head length +
+    /// 1); `tail_bits` assigns the tail's maps (tail input first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError`] for an invalid plan or malformed bitwidth
+    /// vectors.
+    pub fn patch_based(
+        &self,
+        spec: &GraphSpec,
+        plan: &PatchPlan,
+        branch_bits: &[Vec<Bitwidth>],
+        tail_bits: &[Bitwidth],
+        weight_bits: Bitwidth,
+    ) -> Result<Duration, PatchError> {
+        let (head, tail) = spec.split_at(plan.split_at())?;
+        let branches = Branch::build_all(spec, plan);
+        if branch_bits.len() != branches.len() {
+            return Err(PatchError::BitwidthLength {
+                expected: branches.len(),
+                actual: branch_bits.len(),
+            });
+        }
+        let mut cyc = 0.0;
+        for (branch, bits) in branches.iter().zip(branch_bits) {
+            if bits.len() != head.len() + 1 {
+                return Err(PatchError::BitwidthLength {
+                    expected: head.len() + 1,
+                    actual: bits.len(),
+                });
+            }
+            for i in 0..head.len() {
+                let out_region = branch.regions()[i + 1];
+                let out_elems = (out_region.area() * head.node_shape(i).c) as u64;
+                cyc += cycles::kernel_cycles(
+                    self.device.core,
+                    branch.layer_macs(&head, i),
+                    out_elems,
+                    weight_bits,
+                    bits[i],
+                ) / cycles::PATCH_KERNEL_EFFICIENCY;
+            }
+        }
+        if tail_bits.len() != tail.feature_map_count() {
+            return Err(PatchError::BitwidthLength {
+                expected: tail.feature_map_count(),
+                actual: tail_bits.len(),
+            });
+        }
+        let tail_assignment = BitwidthAssignment::from_vec(&tail, tail_bits.to_vec());
+        let tail_latency = self.layer_based(&tail, &tail_assignment, weight_bits);
+        Ok(self.to_duration(cyc) + tail_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::GraphSpecBuilder;
+    use quantmcu_tensor::Shape;
+
+    fn spec() -> GraphSpec {
+        // Channel counts chosen so convolution MACs dominate per-element
+        // overheads, the regime MCU CNN deployments live in.
+        GraphSpecBuilder::new(Shape::hwc(32, 32, 3))
+            .conv2d(32, 3, 1, 1)
+            .relu6()
+            .conv2d(32, 3, 2, 1)
+            .relu6()
+            .conv2d(64, 3, 2, 1)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap()
+    }
+
+    fn uniform_branch_bits(spec: &GraphSpec, plan: &PatchPlan, b: Bitwidth) -> (Vec<Vec<Bitwidth>>, Vec<Bitwidth>) {
+        let (head, tail) = spec.split_at(plan.split_at()).unwrap();
+        (
+            vec![vec![b; head.len() + 1]; plan.branch_count()],
+            vec![b; tail.feature_map_count()],
+        )
+    }
+
+    #[test]
+    fn patch_based_is_slower_than_layer_based_at_same_bits() {
+        // Fig. 1b: redundant halo computation plus per-patch dispatch makes
+        // uniform-8-bit patch inference slower.
+        let s = spec();
+        let model = LatencyModel::new(Device::nano33_ble_sense());
+        let layer = model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
+        let plan = PatchPlan::new(&s, 5, 2, 2).unwrap();
+        let (bb, tb) = uniform_branch_bits(&s, &plan, Bitwidth::W8);
+        let patch = model.patch_based(&s, &plan, &bb, &tb, Bitwidth::W8).unwrap();
+        assert!(patch > layer);
+        let overhead = patch.as_secs_f64() / layer.as_secs_f64();
+        assert!(overhead < 2.0, "overhead {overhead} unreasonably high");
+    }
+
+    #[test]
+    fn sub_byte_branches_recover_the_overhead() {
+        // The QuantMCU effect: 2-bit branches make patch inference faster
+        // than even layer-based 8-bit.
+        let s = spec();
+        let model = LatencyModel::new(Device::nano33_ble_sense());
+        let layer = model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
+        let plan = PatchPlan::new(&s, 5, 2, 2).unwrap();
+        let (mut bb, mut tb) = uniform_branch_bits(&s, &plan, Bitwidth::W8);
+        for bits in &mut bb {
+            for b in bits.iter_mut().skip(1) {
+                *b = Bitwidth::W2;
+            }
+        }
+        for b in tb.iter_mut().skip(1) {
+            *b = Bitwidth::W4;
+        }
+        let quant = model.patch_based(&s, &plan, &bb, &tb, Bitwidth::W8).unwrap();
+        assert!(quant < layer, "quantized patch {quant:?} should beat layer {layer:?}");
+    }
+
+    #[test]
+    fn faster_clock_means_lower_latency_at_same_calibration() {
+        let s = spec();
+        let mut fast = Device::nano33_ble_sense();
+        fast.clock_hz *= 4.0;
+        let base = LatencyModel::new(Device::nano33_ble_sense());
+        let quick = LatencyModel::new(fast);
+        let a = BitwidthAssignment::uniform(&s, Bitwidth::W8);
+        assert!(quick.layer_based(&s, &a, Bitwidth::W8) < base.layer_based(&s, &a, Bitwidth::W8));
+    }
+
+    #[test]
+    fn malformed_bit_vectors_rejected() {
+        let s = spec();
+        let model = LatencyModel::new(Device::nano33_ble_sense());
+        let plan = PatchPlan::new(&s, 5, 2, 2).unwrap();
+        let bad = vec![vec![Bitwidth::W8; 2]; 4];
+        let tb = vec![Bitwidth::W8; 3];
+        assert!(model.patch_based(&s, &plan, &bad, &tb, Bitwidth::W8).is_err());
+    }
+}

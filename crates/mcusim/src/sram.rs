@@ -1,0 +1,102 @@
+//! SRAM / flash feasibility checks.
+
+use quantmcu_nn::cost;
+use quantmcu_nn::GraphSpec;
+use quantmcu_tensor::Bitwidth;
+
+use crate::device::Device;
+
+/// Whether a deployment fits a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitReport {
+    /// Peak activation SRAM the schedule needs.
+    pub peak_sram_bytes: usize,
+    /// Flash the weights need.
+    pub flash_bytes: usize,
+    /// The device's SRAM.
+    pub sram_budget: usize,
+    /// The device's flash.
+    pub flash_budget: usize,
+}
+
+impl FitReport {
+    /// Builds a report from a peak-memory figure and a weight footprint.
+    pub fn new(device: &Device, peak_sram_bytes: usize, flash_bytes: usize) -> Self {
+        FitReport {
+            peak_sram_bytes,
+            flash_bytes,
+            sram_budget: device.sram_bytes,
+            flash_budget: device.flash_bytes,
+        }
+    }
+
+    /// Builds a report for layer-based int-`w`/int-`a` deployment of a
+    /// spec.
+    pub fn layer_based(device: &Device, spec: &GraphSpec, w: Bitwidth, a: Bitwidth) -> Self {
+        let assignment = cost::BitwidthAssignment::uniform(spec, a);
+        FitReport::new(
+            device,
+            cost::peak_activation_bytes(spec, &assignment),
+            cost::flash_bytes(spec, w),
+        )
+    }
+
+    /// Activations fit SRAM.
+    pub fn sram_fits(&self) -> bool {
+        self.peak_sram_bytes <= self.sram_budget
+    }
+
+    /// Weights fit flash.
+    pub fn flash_fits(&self) -> bool {
+        self.flash_bytes <= self.flash_budget
+    }
+
+    /// Whole deployment fits.
+    pub fn fits(&self) -> bool {
+        self.sram_fits() && self.flash_fits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::GraphSpecBuilder;
+    use quantmcu_tensor::Shape;
+
+    #[test]
+    fn small_network_fits_the_nano() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(32, 32, 3))
+            .conv2d(8, 3, 2, 1)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        let r = FitReport::layer_based(
+            &Device::nano33_ble_sense(),
+            &spec,
+            Bitwidth::W8,
+            Bitwidth::W8,
+        );
+        assert!(r.fits(), "{r:?}");
+    }
+
+    #[test]
+    fn oversized_activations_fail_sram_only() {
+        // 256x256x64 ≈ 4 MB activations but few weights.
+        let spec = GraphSpecBuilder::new(Shape::hwc(256, 256, 3))
+            .conv2d(64, 3, 1, 1)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        let r = FitReport::layer_based(
+            &Device::nano33_ble_sense(),
+            &spec,
+            Bitwidth::W8,
+            Bitwidth::W8,
+        );
+        assert!(!r.sram_fits());
+        assert!(r.flash_fits());
+        assert!(!r.fits());
+    }
+}

@@ -1,0 +1,121 @@
+//! SSD-style detection head for the Pascal-VOC experiments.
+//!
+//! The paper evaluates object detection with MobileNetV2 as the backbone.
+//! The reproduction attaches a single-scale SSD-lite head: a depthwise +
+//! pointwise prediction block over the backbone's final spatial feature
+//! map, emitting `anchors × (4 + classes)` channels. Box decoding and mAP
+//! live in `quantmcu-data`; this module only defines the graph.
+
+use quantmcu_nn::{GraphError, GraphSpec, OpSpec};
+use quantmcu_tensor::Shape;
+
+use crate::config::ModelConfig;
+use crate::ir::{ir_network_backbone, IrBlock};
+
+/// Geometry of a detection model's output grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionSpec {
+    /// Grid height of the prediction map.
+    pub grid_h: usize,
+    /// Grid width of the prediction map.
+    pub grid_w: usize,
+    /// Anchor boxes per grid cell.
+    pub anchors: usize,
+    /// Object classes (Pascal VOC uses 20).
+    pub classes: usize,
+}
+
+impl DetectionSpec {
+    /// Channels per grid cell: `anchors * (4 box coords + 1 objectness +
+    /// classes)`.
+    pub fn channels(&self) -> usize {
+        self.anchors * (5 + self.classes)
+    }
+
+    /// Total predicted boxes.
+    pub fn total_boxes(&self) -> usize {
+        self.grid_h * self.grid_w * self.anchors
+    }
+}
+
+/// Builds a MobileNetV2-backbone SSD-lite detector.
+///
+/// Returns the graph plus its [`DetectionSpec`] so callers can decode the
+/// output map.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn detection_head(
+    cfg: ModelConfig,
+    anchors: usize,
+) -> Result<(GraphSpec, DetectionSpec), GraphError> {
+    let backbone = mobilenet_v2_backbone(cfg)?;
+    let feat = backbone.output_shape();
+    let det = DetectionSpec { grid_h: feat.h, grid_w: feat.w, anchors, classes: cfg.classes };
+    // SSD-lite prediction block: 3x3 depthwise + 1x1 pointwise.
+    let mut nodes = backbone.nodes().to_vec();
+    let base = nodes.len();
+    nodes.push(quantmcu_nn::NodeSpec {
+        op: OpSpec::DepthwiseConv2d { kernel: 3, stride: 1, pad: 1 },
+        inputs: vec![quantmcu_nn::Source::Node(base - 1)],
+    });
+    nodes.push(quantmcu_nn::NodeSpec {
+        op: OpSpec::Conv2d { out_ch: det.channels(), kernel: 1, stride: 1, pad: 0 },
+        inputs: vec![quantmcu_nn::Source::Node(base)],
+    });
+    let spec = GraphSpec::new(cfg.input_shape(), nodes)?;
+    Ok((spec, det))
+}
+
+/// MobileNetV2 trunk without the classifier (ends at the last 1×1 conv's
+/// ReLU6, spatially resolved).
+fn mobilenet_v2_backbone(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 16, 1, 1, 3),
+        IrBlock::tcnsk(6, 24, 2, 2, 3),
+        IrBlock::tcnsk(6, 32, 3, 2, 3),
+        IrBlock::tcnsk(6, 64, 4, 2, 3),
+        IrBlock::tcnsk(6, 96, 3, 1, 3),
+        IrBlock::tcnsk(6, 160, 3, 2, 3),
+        IrBlock::tcnsk(6, 320, 1, 1, 3),
+    ];
+    ir_network_backbone(cfg, 32, &TABLE, 1280)
+}
+
+/// Decodes the raw detection output shape for sanity checks.
+///
+/// # Panics
+///
+/// Panics when the shape's channel count is not divisible by the spec's
+/// per-cell channels.
+pub fn check_output_shape(shape: Shape, det: &DetectionSpec) {
+    assert_eq!(shape.h, det.grid_h);
+    assert_eq!(shape.w, det.grid_w);
+    assert_eq!(shape.c, det.channels());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_builds_and_shapes_agree() {
+        let cfg = ModelConfig::new(96, 0.35, 20);
+        let (spec, det) = detection_head(cfg, 3).unwrap();
+        check_output_shape(spec.output_shape(), &det);
+        assert_eq!(det.classes, 20);
+        assert_eq!(det.channels(), 3 * 25);
+        // 96 / 32 = 3 grid cells per side.
+        assert_eq!(det.grid_h, 3);
+        assert_eq!(det.total_boxes(), 27);
+    }
+
+    #[test]
+    fn exec_scale_detector_builds() {
+        let cfg = ModelConfig::new(64, 0.25, 5);
+        let (spec, det) = detection_head(cfg, 2).unwrap();
+        check_output_shape(spec.output_shape(), &det);
+        assert_eq!(det.grid_h, 2);
+    }
+}

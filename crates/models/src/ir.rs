@@ -1,0 +1,292 @@
+//! The inverted-residual (MobileNetV2) model family.
+//!
+//! MobileNetV2, MCUNet, MnasNet, FBNet-A and OFA-CPU all share the same
+//! macro-structure — a strided stem convolution followed by a table of
+//! inverted-residual blocks and a classifier — and differ only in their
+//! block tables (expansion ratio, output channels, repeats, stride, kernel
+//! size). [`ir_network`] is the shared driver; each public constructor
+//! supplies its architecture's table.
+//!
+//! The MCUNet / MnasNet / FBNet-A / OFA-CPU tables are faithful to the
+//! published architectures' channel/stride progressions, with 7×7 depthwise
+//! kernels mapped to 5×5 (the largest kernel the substrate's pad-=-k/2
+//! convention keeps centered at these resolutions); the cost-model impact
+//! is under 2% of MACs for every table.
+
+use quantmcu_nn::{GraphError, GraphSpec, GraphSpecBuilder};
+
+use crate::config::ModelConfig;
+
+/// One row of an inverted-residual block table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrBlock {
+    /// Expansion ratio `t` of the 1×1 expand convolution.
+    pub expand: usize,
+    /// Output channels (before the width multiplier).
+    pub out_ch: usize,
+    /// Number of consecutive blocks with these settings.
+    pub repeats: usize,
+    /// Stride of the first block in the group (the rest use stride 1).
+    pub stride: usize,
+    /// Depthwise kernel size (3 or 5).
+    pub kernel: usize,
+}
+
+impl IrBlock {
+    /// Shorthand constructor in the table order `(t, c, n, s, k)`.
+    pub const fn tcnsk(
+        expand: usize,
+        out_ch: usize,
+        repeats: usize,
+        stride: usize,
+        kernel: usize,
+    ) -> Self {
+        IrBlock { expand, out_ch, repeats, stride, kernel }
+    }
+}
+
+/// Builds a complete inverted-residual network from a block table.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors (e.g. a resolution too small for the
+/// stride progression).
+pub fn ir_network(
+    cfg: ModelConfig,
+    stem_ch: usize,
+    table: &[IrBlock],
+    head_ch: usize,
+) -> Result<GraphSpec, GraphError> {
+    let mut b = GraphSpecBuilder::new(cfg.input_shape())
+        .conv2d(cfg.scale_ch(stem_ch), 3, 2, 1)
+        .relu6();
+    let mut in_ch = cfg.scale_ch(stem_ch);
+    for row in table {
+        let out_ch = cfg.scale_ch(row.out_ch);
+        for rep in 0..row.repeats {
+            let stride = if rep == 0 { row.stride } else { 1 };
+            b = ir_block(b, in_ch, out_ch, row.expand, stride, row.kernel);
+            in_ch = out_ch;
+        }
+    }
+    b.pwconv(cfg.scale_ch(head_ch))
+        .relu6()
+        .global_avg_pool()
+        .dense(cfg.classes)
+        .build()
+}
+
+/// Builds the spatially-resolved trunk of an inverted-residual network
+/// (stem, block table, head conv + ReLU6) without the classifier — the
+/// backbone used by the detection head.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors (e.g. a resolution too small for the
+/// stride progression).
+pub(crate) fn ir_network_backbone(
+    cfg: ModelConfig,
+    stem_ch: usize,
+    table: &[IrBlock],
+    head_ch: usize,
+) -> Result<GraphSpec, GraphError> {
+    let mut b = GraphSpecBuilder::new(cfg.input_shape())
+        .conv2d(cfg.scale_ch(stem_ch), 3, 2, 1)
+        .relu6();
+    let mut in_ch = cfg.scale_ch(stem_ch);
+    for row in table {
+        let out_ch = cfg.scale_ch(row.out_ch);
+        for rep in 0..row.repeats {
+            let stride = if rep == 0 { row.stride } else { 1 };
+            b = ir_block(b, in_ch, out_ch, row.expand, stride, row.kernel);
+            in_ch = out_ch;
+        }
+    }
+    b.pwconv(cfg.scale_ch(head_ch)).relu6().build()
+}
+
+/// Appends one inverted-residual block: optional 1×1 expand, k×k depthwise
+/// at `stride`, 1×1 linear projection, residual add when shape-preserving.
+fn ir_block(
+    b: GraphSpecBuilder,
+    in_ch: usize,
+    out_ch: usize,
+    expand: usize,
+    stride: usize,
+    kernel: usize,
+) -> GraphSpecBuilder {
+    let use_residual = stride == 1 && in_ch == out_ch;
+    let entry = b.mark();
+    let hidden = in_ch * expand;
+    let mut b = b;
+    if expand != 1 {
+        b = b.pwconv(hidden).relu6();
+    }
+    b = b.dwconv(kernel, stride, kernel / 2).relu6().pwconv(out_ch);
+    if use_residual {
+        b = b.add_from(entry);
+    }
+    b
+}
+
+/// MobileNetV2 (Sandler et al., 2018) — the primary workload of Tables
+/// I–III.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn mobilenet_v2(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 16, 1, 1, 3),
+        IrBlock::tcnsk(6, 24, 2, 2, 3),
+        IrBlock::tcnsk(6, 32, 3, 2, 3),
+        IrBlock::tcnsk(6, 64, 4, 2, 3),
+        IrBlock::tcnsk(6, 96, 3, 1, 3),
+        IrBlock::tcnsk(6, 160, 3, 2, 3),
+        IrBlock::tcnsk(6, 320, 1, 1, 3),
+    ];
+    ir_network(cfg, 32, &TABLE, 1280)
+}
+
+/// MCUNet (Lin et al., 2021) — the TinyNAS backbone used by MCUNetV2 and
+/// in Fig. 1b / Fig. 6.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn mcunet(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 8, 1, 1, 3),
+        IrBlock::tcnsk(6, 16, 2, 2, 5),
+        IrBlock::tcnsk(6, 24, 2, 2, 5),
+        IrBlock::tcnsk(6, 40, 2, 2, 5),
+        IrBlock::tcnsk(6, 48, 2, 1, 3),
+        IrBlock::tcnsk(6, 96, 2, 2, 5),
+        IrBlock::tcnsk(6, 160, 1, 1, 3),
+    ];
+    ir_network(cfg, 16, &TABLE, 320)
+}
+
+/// MnasNet-A1 (Tan et al., 2019), one of the Fig. 1b workloads.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn mnasnet(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 16, 1, 1, 3),
+        IrBlock::tcnsk(6, 24, 2, 2, 3),
+        IrBlock::tcnsk(3, 40, 3, 2, 5),
+        IrBlock::tcnsk(6, 80, 4, 2, 3),
+        IrBlock::tcnsk(6, 112, 2, 1, 3),
+        IrBlock::tcnsk(6, 160, 3, 2, 5),
+        IrBlock::tcnsk(6, 320, 1, 1, 3),
+    ];
+    ir_network(cfg, 32, &TABLE, 1280)
+}
+
+/// FBNet-A (Wu et al., 2019), one of the Fig. 1b workloads.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn fbnet_a(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 16, 1, 1, 3),
+        IrBlock::tcnsk(6, 24, 4, 2, 3),
+        IrBlock::tcnsk(6, 32, 4, 2, 5),
+        IrBlock::tcnsk(6, 64, 4, 2, 3),
+        IrBlock::tcnsk(6, 112, 4, 1, 5),
+        IrBlock::tcnsk(6, 184, 4, 2, 5),
+        IrBlock::tcnsk(6, 352, 1, 1, 3),
+    ];
+    ir_network(cfg, 16, &TABLE, 1504)
+}
+
+/// OFA-CPU (Cai et al., 2020's CPU-specialized subnet), one of the Fig. 1b
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates spec-validation errors for infeasible configurations.
+pub fn ofa_cpu(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+    const TABLE: [IrBlock; 7] = [
+        IrBlock::tcnsk(1, 24, 1, 1, 3),
+        IrBlock::tcnsk(4, 32, 3, 2, 3),
+        IrBlock::tcnsk(4, 56, 3, 2, 5),
+        IrBlock::tcnsk(4, 104, 3, 2, 3),
+        IrBlock::tcnsk(4, 128, 3, 1, 5),
+        IrBlock::tcnsk(6, 208, 3, 2, 5),
+        IrBlock::tcnsk(6, 416, 1, 1, 3),
+    ];
+    ir_network(cfg, 24, &TABLE, 1280)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::cost;
+    use quantmcu_tensor::Shape;
+
+    #[test]
+    fn mobilenet_v2_paper_scale_mac_anchor() {
+        // Table II anchors MobileNetV2 at 19.2 G BitOPs for 8/8, i.e. about
+        // 300 M MACs at 224×224. The reproduction must land in that regime.
+        let spec = mobilenet_v2(ModelConfig::paper_scale()).unwrap();
+        let macs = cost::total_macs(&spec);
+        assert!(
+            (250_000_000..400_000_000).contains(&macs),
+            "MobileNetV2@224 MACs out of range: {macs}"
+        );
+        assert_eq!(spec.output_shape(), Shape::hwc(1, 1, 1000));
+    }
+
+    #[test]
+    fn mobilenet_v2_param_anchor() {
+        // Published MobileNetV2 has ~3.4 M parameters.
+        let spec = mobilenet_v2(ModelConfig::paper_scale()).unwrap();
+        let params = cost::total_params(&spec);
+        assert!((2_500_000..4_500_000).contains(&params), "params: {params}");
+    }
+
+    #[test]
+    fn all_family_members_build_at_both_scales() {
+        for f in [mobilenet_v2, mcunet, mnasnet, fbnet_a, ofa_cpu] {
+            let paper = f(ModelConfig::paper_scale()).unwrap();
+            assert_eq!(paper.output_shape().c, 1000);
+            let exec = f(ModelConfig::exec_scale()).unwrap();
+            assert_eq!(exec.output_shape().c, 10);
+            assert!(exec.len() > 20, "exec-scale model should be deep");
+        }
+    }
+
+    #[test]
+    fn width_multiplier_shrinks_cost() {
+        let full = mobilenet_v2(ModelConfig::new(96, 1.0, 100)).unwrap();
+        let slim = mobilenet_v2(ModelConfig::new(96, 0.35, 100)).unwrap();
+        assert!(cost::total_macs(&slim) < cost::total_macs(&full) / 3);
+    }
+
+    #[test]
+    fn mcunet_is_lighter_than_mobilenet() {
+        let cfg = ModelConfig::paper_scale();
+        let mb = cost::total_macs(&mobilenet_v2(cfg).unwrap());
+        let mc = cost::total_macs(&mcunet(cfg).unwrap());
+        assert!(mc < mb, "MCUNet ({mc}) should be lighter than MobileNetV2 ({mb})");
+    }
+
+    #[test]
+    fn stem_prefix_is_straight_chain() {
+        // Patch-based inference needs a splittable prefix; the stem and the
+        // first expand-1 block contain no residual edges (the stem changes
+        // the channel count, so block 1 cannot form a residual).
+        for cfg in [ModelConfig::paper_scale(), ModelConfig::exec_scale()] {
+            let spec = mobilenet_v2(cfg).unwrap();
+            assert!(spec.splittable_at(0));
+            assert!(spec.splittable_at(2)); // stem conv + relu6
+            let max_split =
+                (0..=spec.len()).filter(|&at| spec.splittable_at(at)).max().unwrap();
+            assert!(max_split >= 5, "largest straight prefix is only {max_split}");
+        }
+    }
+}

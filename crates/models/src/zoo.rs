@@ -1,0 +1,162 @@
+use std::fmt;
+
+use quantmcu_nn::{GraphError, GraphSpec};
+
+use crate::classic::{inception_v3, resnet18, squeezenet, vgg16};
+use crate::config::ModelConfig;
+use crate::ir::{fbnet_a, mcunet, mnasnet, mobilenet_v2, ofa_cpu};
+
+/// The networks evaluated in the paper, as a closed registry.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_models::{Model, ModelConfig};
+///
+/// let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+/// assert_eq!(spec.output_shape().c, 10);
+/// # Ok::<(), quantmcu_nn::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// MobileNetV2 — Tables I–III, Fig. 4, Fig. 6.
+    MobileNetV2,
+    /// MCUNet (TinyNAS) — Fig. 1b, Fig. 6.
+    McuNet,
+    /// MnasNet — Fig. 1b.
+    MnasNet,
+    /// FBNet-A — Fig. 1b.
+    FbnetA,
+    /// OFA-CPU — Fig. 1b.
+    OfaCpu,
+    /// SqueezeNet — Fig. 4.
+    SqueezeNet,
+    /// ResNet-18 — Fig. 2a, Fig. 4.
+    ResNet18,
+    /// VGG-16 — Fig. 4.
+    Vgg16,
+    /// Inception-V3 (structural) — Fig. 4.
+    InceptionV3,
+}
+
+impl Model {
+    /// Every model in the zoo.
+    pub const ALL: [Model; 9] = [
+        Model::MobileNetV2,
+        Model::McuNet,
+        Model::MnasNet,
+        Model::FbnetA,
+        Model::OfaCpu,
+        Model::SqueezeNet,
+        Model::ResNet18,
+        Model::Vgg16,
+        Model::InceptionV3,
+    ];
+
+    /// The five networks of the Fig. 1b latency comparison.
+    pub const FIG1B: [Model; 5] =
+        [Model::MobileNetV2, Model::MnasNet, Model::FbnetA, Model::OfaCpu, Model::McuNet];
+
+    /// The five networks of the Fig. 4 accuracy study.
+    pub const FIG4: [Model; 5] = [
+        Model::MobileNetV2,
+        Model::InceptionV3,
+        Model::SqueezeNet,
+        Model::ResNet18,
+        Model::Vgg16,
+    ];
+
+    /// Builds the model's [`GraphSpec`] at a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-validation errors for infeasible configurations.
+    pub fn spec(self, cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
+        match self {
+            Model::MobileNetV2 => mobilenet_v2(cfg),
+            Model::McuNet => mcunet(cfg),
+            Model::MnasNet => mnasnet(cfg),
+            Model::FbnetA => fbnet_a(cfg),
+            Model::OfaCpu => ofa_cpu(cfg),
+            Model::SqueezeNet => squeezenet(cfg),
+            Model::ResNet18 => resnet18(cfg),
+            Model::Vgg16 => vgg16(cfg),
+            Model::InceptionV3 => inception_v3(cfg),
+        }
+    }
+
+    /// The MCU-deployment configuration for Table I: width and resolution
+    /// reduced so the int8 layer-based network fits the platform.
+    ///
+    /// `sram_kb = 256` reproduces the Arduino Nano 33 BLE Sense column
+    /// (width 0.35 @ 144²); `sram_kb >= 512` the STM32H743 column
+    /// (width 0.5 @ 224²). Class counts follow the dataset (1000 ImageNet /
+    /// 20 VOC) but do not affect the cost metrics.
+    pub fn mcu_scale(self, sram_kb: usize, classes: usize) -> ModelConfig {
+        if sram_kb <= 256 {
+            ModelConfig::new(144, 0.35, classes)
+        } else {
+            ModelConfig::new(224, 0.5, classes)
+        }
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::MobileNetV2 => "MobileNetV2",
+            Model::McuNet => "MCUNet",
+            Model::MnasNet => "MnasNet",
+            Model::FbnetA => "FBNet-A",
+            Model::OfaCpu => "OFA-CPU",
+            Model::SqueezeNet => "SqueezeNet",
+            Model::ResNet18 => "ResNet18",
+            Model::Vgg16 => "VGG16",
+            Model::InceptionV3 => "InceptionV3",
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_at_exec_scale() {
+        for m in Model::ALL {
+            let spec = m.spec(ModelConfig::exec_scale()).unwrap();
+            assert!(!spec.is_empty(), "{m} is empty");
+        }
+    }
+
+    #[test]
+    fn mcu_scale_fits_the_small_board_regime() {
+        use quantmcu_nn::cost;
+        let cfg = Model::MobileNetV2.mcu_scale(256, 1000);
+        let spec = Model::MobileNetV2.spec(cfg).unwrap();
+        let macs = cost::total_macs(&spec);
+        // Table I layer-based BitOPs are 1536 M at 8/8 → ~24 M MACs.
+        assert!(
+            (10_000_000..60_000_000).contains(&macs),
+            "MCU-scale MobileNetV2 MACs out of the Table I regime: {macs}"
+        );
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Model::MobileNetV2.to_string(), "MobileNetV2");
+        assert_eq!(Model::McuNet.to_string(), "MCUNet");
+    }
+
+    #[test]
+    fn figure_rosters_are_subsets_of_all() {
+        for m in Model::FIG1B.iter().chain(Model::FIG4.iter()) {
+            assert!(Model::ALL.contains(m));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+use quantmcu_tensor::Shape;
+
+use crate::error::GraphError;
+use crate::spec::{GraphSpec, NodeSpec, OpSpec, Source};
+
+/// Fluent builder for [`GraphSpec`]s.
+///
+/// Each method appends a node reading from the current *tip* (the most
+/// recently appended node, or the graph input). Join helpers
+/// ([`GraphSpecBuilder::add_from`], [`GraphSpecBuilder::concat_with`]) wire
+/// residual and fire-style edges; [`GraphSpecBuilder::mark`] captures a
+/// reference point for them.
+///
+/// The block helpers mirror the building blocks of the paper's model zoo:
+/// [`GraphSpecBuilder::inverted_residual`] (MobileNetV2 / MCUNet),
+/// [`GraphSpecBuilder::fire`] (SqueezeNet) and
+/// [`GraphSpecBuilder::basic_residual`] (ResNet-18).
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_nn::GraphSpecBuilder;
+/// use quantmcu_tensor::Shape;
+///
+/// let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+///     .conv2d(8, 3, 2, 1)
+///     .relu6()
+///     .inverted_residual(16, 6, 1)
+///     .global_avg_pool()
+///     .dense(10)
+///     .build()?;
+/// assert_eq!(spec.output_shape().c, 10);
+/// # Ok::<(), quantmcu_nn::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphSpecBuilder {
+    input_shape: Shape,
+    nodes: Vec<NodeSpec>,
+    /// Channel count at the tip, tracked so block helpers can size
+    /// expansions without running full shape inference.
+    tip_channels: usize,
+}
+
+/// A saved reference to a feature map, produced by
+/// [`GraphSpecBuilder::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark(Source);
+
+impl GraphSpecBuilder {
+    /// Starts a builder for a graph consuming `input_shape`.
+    pub fn new(input_shape: Shape) -> Self {
+        GraphSpecBuilder { input_shape, nodes: Vec::new(), tip_channels: input_shape.c }
+    }
+
+    fn tip(&self) -> Source {
+        if self.nodes.is_empty() {
+            Source::Input
+        } else {
+            Source::Node(self.nodes.len() - 1)
+        }
+    }
+
+    fn push(mut self, op: OpSpec, inputs: Vec<Source>) -> Self {
+        if let OpSpec::Conv2d { out_ch, .. } = op {
+            self.tip_channels = out_ch;
+        } else if let OpSpec::Dense { out } = op {
+            self.tip_channels = out;
+        }
+        self.nodes.push(NodeSpec { op, inputs });
+        self
+    }
+
+    fn push_unary(self, op: OpSpec) -> Self {
+        let tip = self.tip();
+        self.push(op, vec![tip])
+    }
+
+    /// Appends a standard convolution.
+    pub fn conv2d(self, out_ch: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        self.push_unary(OpSpec::Conv2d { out_ch, kernel, stride, pad })
+    }
+
+    /// Appends a depthwise convolution.
+    pub fn dwconv(self, kernel: usize, stride: usize, pad: usize) -> Self {
+        self.push_unary(OpSpec::DepthwiseConv2d { kernel, stride, pad })
+    }
+
+    /// Appends a 1×1 (pointwise) convolution.
+    pub fn pwconv(self, out_ch: usize) -> Self {
+        self.conv2d(out_ch, 1, 1, 0)
+    }
+
+    /// Appends a fully connected layer.
+    pub fn dense(self, out: usize) -> Self {
+        self.push_unary(OpSpec::Dense { out })
+    }
+
+    /// Appends max pooling.
+    pub fn max_pool(self, kernel: usize, stride: usize) -> Self {
+        self.push_unary(OpSpec::MaxPool { kernel, stride })
+    }
+
+    /// Appends average pooling.
+    pub fn avg_pool(self, kernel: usize, stride: usize) -> Self {
+        self.push_unary(OpSpec::AvgPool { kernel, stride })
+    }
+
+    /// Appends global average pooling.
+    pub fn global_avg_pool(self) -> Self {
+        self.push_unary(OpSpec::GlobalAvgPool)
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(self) -> Self {
+        self.push_unary(OpSpec::Relu)
+    }
+
+    /// Appends a ReLU6.
+    pub fn relu6(self) -> Self {
+        self.push_unary(OpSpec::Relu6)
+    }
+
+    /// Captures the current tip for a later residual or concat join.
+    pub fn mark(&self) -> Mark {
+        Mark(self.tip())
+    }
+
+    /// Appends an elementwise add joining the tip with `mark`.
+    pub fn add_from(self, mark: Mark) -> Self {
+        let tip = self.tip();
+        self.push(OpSpec::Add, vec![tip, mark.0])
+    }
+
+    /// Appends a concat joining the tip with `mark` (tip channels first).
+    pub fn concat_with(self, mark: Mark) -> Self {
+        let tip = self.tip();
+        self.push(OpSpec::Concat, vec![tip, mark.0])
+    }
+
+    /// MobileNetV2-style inverted residual block: 1×1 expand (ratio
+    /// `expand`), 3×3 depthwise at `stride`, 1×1 project to `out_ch`, with a
+    /// residual add when the stride is 1 and channels are unchanged.
+    pub fn inverted_residual(self, out_ch: usize, expand: usize, stride: usize) -> Self {
+        let in_ch = self.tip_channels;
+        let use_residual = stride == 1 && in_ch == out_ch;
+        let entry = self.mark();
+        let hidden = in_ch * expand;
+        let mut b = self;
+        if expand != 1 {
+            b = b.pwconv(hidden).relu6();
+        }
+        b = b.dwconv(3, stride, 1).relu6().pwconv(out_ch);
+        if use_residual {
+            b = b.add_from(entry);
+        }
+        b
+    }
+
+    /// ResNet basic block: two 3×3 convolutions with a residual add (only
+    /// when the stride is 1 and channels are unchanged; otherwise the block
+    /// is plain, a standard projection-free simplification).
+    pub fn basic_residual(self, out_ch: usize, stride: usize) -> Self {
+        let in_ch = self.tip_channels;
+        let use_residual = stride == 1 && in_ch == out_ch;
+        let entry = self.mark();
+        let mut b = self.conv2d(out_ch, 3, stride, 1).relu().conv2d(out_ch, 3, 1, 1);
+        if use_residual {
+            b = b.add_from(entry);
+        }
+        b.relu()
+    }
+
+    /// SqueezeNet fire module: 1×1 squeeze to `squeeze` channels, then
+    /// parallel 1×1 and 3×3 expands concatenated.
+    pub fn fire(self, squeeze: usize, expand1: usize, expand3: usize) -> Self {
+        let b = self.pwconv(squeeze).relu();
+        let squeezed = b.tip();
+        let b = b.pwconv(expand1).relu();
+        let left = b.tip();
+        let b = b.push(OpSpec::Conv2d { out_ch: expand3, kernel: 3, stride: 1, pad: 1 }, vec![squeezed]);
+        let b = b.relu();
+        let right = b.tip();
+        let mut b = b.push(OpSpec::Concat, vec![left, right]);
+        b.tip_channels = expand1 + expand3;
+        b
+    }
+
+    /// Validates and finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation errors of [`GraphSpec::new`].
+    pub fn build(self) -> Result<GraphSpec, GraphError> {
+        GraphSpec::new(self.input_shape, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builder_produces_linear_graph() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(4, 3, 1, 1)
+            .relu6()
+            .max_pool(2, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.output_shape(), Shape::hwc(4, 4, 4));
+    }
+
+    #[test]
+    fn inverted_residual_with_skip() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 16))
+            .inverted_residual(16, 6, 1)
+            .build()
+            .unwrap();
+        // expand pw + relu6 + dw + relu6 + project pw + add = 6 nodes
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.output_shape(), Shape::hwc(8, 8, 16));
+        assert!(matches!(g.nodes().last().unwrap().op, OpSpec::Add));
+    }
+
+    #[test]
+    fn inverted_residual_strided_has_no_skip() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 16))
+            .inverted_residual(24, 6, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.output_shape(), Shape::hwc(4, 4, 24));
+        assert!(!matches!(g.nodes().last().unwrap().op, OpSpec::Add));
+    }
+
+    #[test]
+    fn fire_module_concats_expands() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 32))
+            .fire(4, 8, 8)
+            .build()
+            .unwrap();
+        assert_eq!(g.output_shape(), Shape::hwc(8, 8, 16));
+    }
+
+    #[test]
+    fn basic_residual_keeps_shape() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 8))
+            .basic_residual(8, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.output_shape(), Shape::hwc(8, 8, 8));
+    }
+
+    #[test]
+    fn tip_channels_follow_convs() {
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(32, 3, 2, 1)
+            .inverted_residual(32, 1, 1) // expand=1 skips the expansion conv
+            .build()
+            .unwrap();
+        // conv + (dw + relu6 + pw + add) = 5 nodes
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.output_shape().c, 32);
+    }
+}

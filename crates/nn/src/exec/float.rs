@@ -1,0 +1,409 @@
+use quantmcu_tensor::{Shape, Tensor};
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::spec::{OpSpec, Source};
+
+/// Full-precision reference executor.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_nn::{exec::FloatExecutor, GraphSpecBuilder, init};
+/// use quantmcu_tensor::{Shape, Tensor};
+///
+/// let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).relu6().build()?;
+/// let graph = init::with_structured_weights(spec, 0);
+/// let out = FloatExecutor::new(&graph).run(&Tensor::full(Shape::hwc(4, 4, 1), 9.0))?;
+/// assert!(out.data().iter().all(|&v| v == 6.0));
+/// # Ok::<(), quantmcu_nn::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct FloatExecutor<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> FloatExecutor<'g> {
+    /// Creates an executor over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        FloatExecutor { graph }
+    }
+
+    /// Runs the graph, returning the final feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, GraphError> {
+        let trace = self.run_trace(input)?;
+        Ok(trace.into_iter().last().expect("trace contains at least the input"))
+    }
+
+    /// Runs the graph, returning every feature map: index 0 is the input,
+    /// index `i + 1` the output of node `i` (matching
+    /// [`FeatureMapId`](crate::FeatureMapId) numbering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+        let spec = self.graph.spec();
+        super::check_input(spec, input.shape())?;
+        let mut maps: Vec<Tensor> = Vec::with_capacity(spec.len() + 1);
+        maps.push(input.clone());
+        for (i, node) in spec.nodes().iter().enumerate() {
+            let inputs: Vec<&Tensor> =
+                node.inputs.iter().map(|s| &maps[source_index(*s)]).collect();
+            let out = eval_op(node.op, &inputs, self.graph.params(i).weights(), self.graph.params(i).bias());
+            maps.push(out);
+        }
+        Ok(maps)
+    }
+}
+
+fn source_index(s: Source) -> usize {
+    match s {
+        Source::Input => 0,
+        Source::Node(i) => i + 1,
+    }
+}
+
+/// Evaluates one operator in f32.
+pub(crate) fn eval_op(op: OpSpec, inputs: &[&Tensor], weights: &[f32], bias: &[f32]) -> Tensor {
+    match op {
+        OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
+            conv2d(inputs[0], weights, bias, out_ch, kernel, stride, pad)
+        }
+        OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
+            dwconv(inputs[0], weights, bias, kernel, stride, pad)
+        }
+        OpSpec::Dense { out } => dense(inputs[0], weights, bias, out),
+        OpSpec::MaxPool { kernel, stride } => pool(inputs[0], kernel, stride, PoolKind::Max),
+        OpSpec::AvgPool { kernel, stride } => pool(inputs[0], kernel, stride, PoolKind::Avg),
+        OpSpec::GlobalAvgPool => global_avg_pool(inputs[0]),
+        OpSpec::Relu => inputs[0].map(|v| v.max(0.0)),
+        OpSpec::Relu6 => inputs[0].map(|v| v.clamp(0.0, 6.0)),
+        OpSpec::Add => {
+            let (a, b) = (inputs[0], inputs[1]);
+            let mut out = a.clone();
+            for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
+                *o += bv;
+            }
+            out
+        }
+        OpSpec::Concat => concat(inputs),
+    }
+}
+
+fn conv2d(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let is = input.shape();
+    let oh = (is.h + 2 * pad - k) / stride + 1;
+    let ow = (is.w + 2 * pad - k) / stride + 1;
+    let os = Shape::new(is.n, oh, ow, out_ch);
+    let mut out = Tensor::zeros(os);
+    for n in 0..is.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for oc in 0..out_ch {
+                    let mut acc = bias[oc];
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            let in_base = is.index(n, iy as usize, ix as usize, 0);
+                            let w_base = ((oc * k + ky) * k + kx) * is.c;
+                            for ic in 0..is.c {
+                                acc += input.data()[in_base + ic] * weights[w_base + ic];
+                            }
+                        }
+                    }
+                    out.set(n, oy, ox, oc, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dwconv(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let is = input.shape();
+    let oh = (is.h + 2 * pad - k) / stride + 1;
+    let ow = (is.w + 2 * pad - k) / stride + 1;
+    let os = Shape::new(is.n, oh, ow, is.c);
+    let mut out = Tensor::zeros(os);
+    for n in 0..is.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..is.c {
+                    let mut acc = bias[c];
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= is.h {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix as usize >= is.w {
+                                continue;
+                            }
+                            acc += input.at(n, iy as usize, ix as usize, c)
+                                * weights[(ky * k + kx) * is.c + c];
+                        }
+                    }
+                    out.set(n, oy, ox, c, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dense(input: &Tensor, weights: &[f32], bias: &[f32], out_f: usize) -> Tensor {
+    let is = input.shape();
+    let fan_in = is.per_sample();
+    let os = Shape::new(is.n, 1, 1, out_f);
+    let mut out = Tensor::zeros(os);
+    for n in 0..is.n {
+        let sample = &input.data()[n * fan_in..(n + 1) * fan_in];
+        for o in 0..out_f {
+            let row = &weights[o * fan_in..(o + 1) * fan_in];
+            let acc: f32 = sample.iter().zip(row).map(|(a, w)| a * w).sum();
+            out.set(n, 0, 0, o, acc + bias[o]);
+        }
+    }
+    out
+}
+
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool(input: &Tensor, k: usize, stride: usize, kind: PoolKind) -> Tensor {
+    let is = input.shape();
+    let oh = (is.h - k) / stride + 1;
+    let ow = (is.w - k) / stride + 1;
+    let os = Shape::new(is.n, oh, ow, is.c);
+    let mut out = Tensor::zeros(os);
+    for n in 0..is.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..is.c {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = input.at(n, oy * stride + ky, ox * stride + kx, c);
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if let PoolKind::Avg = kind {
+                        acc /= (k * k) as f32;
+                    }
+                    out.set(n, oy, ox, c, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn global_avg_pool(input: &Tensor) -> Tensor {
+    let is = input.shape();
+    let os = Shape::new(is.n, 1, 1, is.c);
+    let mut out = Tensor::zeros(os);
+    let inv = 1.0 / (is.h * is.w) as f32;
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let mut acc = 0.0;
+            for y in 0..is.h {
+                for x in 0..is.w {
+                    acc += input.at(n, y, x, c);
+                }
+            }
+            out.set(n, 0, 0, c, acc * inv);
+        }
+    }
+    out
+}
+
+fn concat(inputs: &[&Tensor]) -> Tensor {
+    let first = inputs[0].shape();
+    let total_c: usize = inputs.iter().map(|t| t.shape().c).sum();
+    let os = Shape::new(first.n, first.h, first.w, total_c);
+    let mut out = Tensor::zeros(os);
+    for n in 0..first.n {
+        for y in 0..first.h {
+            for x in 0..first.w {
+                let mut base = 0;
+                for t in inputs {
+                    for c in 0..t.shape().c {
+                        out.set(n, y, x, base + c, t.at(n, y, x, c));
+                    }
+                    base += t.shape().c;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphSpecBuilder;
+    use crate::graph::{Graph, OpParams};
+    use crate::init;
+
+    /// A 1-channel 3x3 identity convolution (center tap 1).
+    fn identity_conv_graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).conv2d(1, 3, 1, 1).build().unwrap();
+        let mut weights = vec![0.0f32; 9];
+        weights[4] = 1.0; // center of the 3x3 kernel
+        Graph::new(spec, vec![OpParams::Weights { weights, bias: vec![0.0] }])
+    }
+
+    #[test]
+    fn identity_conv_preserves_input() {
+        let g = identity_conv_graph();
+        let input = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_sum_kernel_counts_neighbors() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(3, 3, 1)).conv2d(1, 3, 1, 1).build().unwrap();
+        let g = Graph::new(
+            spec,
+            vec![OpParams::Weights { weights: vec![1.0; 9], bias: vec![0.0] }],
+        );
+        let input = Tensor::full(Shape::hwc(3, 3, 1), 1.0);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        // Center position sees all 9 ones; corner sees 4.
+        assert_eq!(out.at(0, 1, 1, 0), 9.0);
+        assert_eq!(out.at(0, 0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).conv2d(1, 1, 2, 0).build().unwrap();
+        let g = Graph::new(
+            spec,
+            vec![OpParams::Weights { weights: vec![1.0], bias: vec![0.0] }],
+        );
+        let input = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert_eq!(out.shape(), Shape::hwc(2, 2, 1));
+        assert_eq!(out.at(0, 0, 0, 0), input.at(0, 0, 0, 0));
+        assert_eq!(out.at(0, 1, 1, 0), input.at(0, 2, 2, 0));
+    }
+
+    #[test]
+    fn depthwise_is_per_channel() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(2, 2, 2)).dwconv(1, 1, 0).build().unwrap();
+        // Channel 0 scaled by 2, channel 1 by -1.
+        let g = Graph::new(
+            spec,
+            vec![OpParams::Weights { weights: vec![2.0, -1.0], bias: vec![0.0, 0.0] }],
+        );
+        let input = Tensor::full(Shape::hwc(2, 2, 2), 3.0);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert_eq!(out.at(0, 0, 0, 0), 6.0);
+        assert_eq!(out.at(0, 0, 0, 1), -3.0);
+    }
+
+    #[test]
+    fn pools_and_gap() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(2, 2, 1)).max_pool(2, 2).build().unwrap();
+        let g = init::with_structured_weights(spec, 0);
+        let input =
+            Tensor::from_vec(Shape::hwc(2, 2, 1), vec![1.0, 5.0, -2.0, 3.0]).unwrap();
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert_eq!(out.at(0, 0, 0, 0), 5.0);
+
+        let spec = GraphSpecBuilder::new(Shape::hwc(2, 2, 1)).global_avg_pool().build().unwrap();
+        let g = init::with_structured_weights(spec, 0);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert!((out.at(0, 0, 0, 0) - 1.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_add_doubles_identity_path() {
+        let spec = {
+            let b = GraphSpecBuilder::new(Shape::hwc(4, 4, 1));
+            let entry = b.mark();
+            b.conv2d(1, 3, 1, 1).add_from(entry).build().unwrap()
+        };
+        let mut weights = vec![0.0f32; 9];
+        weights[4] = 1.0;
+        let g = Graph::new(
+            spec,
+            vec![OpParams::Weights { weights, bias: vec![0.0] }, OpParams::None],
+        );
+        let input = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32);
+        let out = FloatExecutor::new(&g).run(&input).unwrap();
+        assert_eq!(out.at(0, 2, 3, 0), 2.0 * input.at(0, 2, 3, 0));
+    }
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(2, 2, 2)).fire(1, 2, 2).build().unwrap();
+        let g = init::with_structured_weights(spec, 1);
+        let out = FloatExecutor::new(&g).run(&Tensor::full(Shape::hwc(2, 2, 2), 1.0)).unwrap();
+        assert_eq!(out.shape().c, 4);
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_feature_map() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1))
+            .conv2d(2, 3, 1, 1)
+            .relu6()
+            .build()
+            .unwrap();
+        let g = init::with_structured_weights(spec, 2);
+        let trace =
+            FloatExecutor::new(&g).run_trace(&Tensor::zeros(Shape::hwc(4, 4, 1))).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].shape(), Shape::hwc(4, 4, 1));
+        assert_eq!(trace[1].shape(), Shape::hwc(4, 4, 2));
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let g = identity_conv_graph();
+        let bad = Tensor::zeros(Shape::hwc(5, 4, 1));
+        assert!(matches!(
+            FloatExecutor::new(&g).run(&bad),
+            Err(GraphError::InputShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph executors.
+//!
+//! * [`FloatExecutor`] — the full-precision reference. Besides plain
+//!   inference it can trace every intermediate feature map
+//!   ([`FloatExecutor::run_trace`]), which is what calibration, entropy
+//!   estimation and value-driven patch classification consume.
+//! * [`QuantExecutor`] — an integer executor modeling the CMSIS-NN /
+//!   CMix-NN kernel stack: `i8` activation storage at a per-feature-map
+//!   [`Bitwidth`](quantmcu_tensor::Bitwidth), per-channel 8-bit (or
+//!   narrower) weights, `i32` accumulation, and requantization between
+//!   layers. Mixed-precision deployment plans are evaluated by giving each
+//!   feature map its own bitwidth.
+
+mod float;
+mod quantized;
+
+pub use float::FloatExecutor;
+pub use quantized::{calibrate_ranges, QuantExecutor};
+
+use quantmcu_tensor::Shape;
+
+use crate::error::GraphError;
+use crate::spec::GraphSpec;
+
+/// Validates an executor input against the spec's declared input shape.
+pub(crate) fn check_input(spec: &GraphSpec, actual: Shape) -> Result<(), GraphError> {
+    let expected = spec.input_shape();
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(GraphError::InputShapeMismatch { expected, actual })
+    }
+}

@@ -1,0 +1,505 @@
+use quantmcu_tensor::{Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
+
+use crate::error::GraphError;
+use crate::exec::FloatExecutor;
+use crate::graph::Graph;
+use crate::spec::{OpSpec, Source};
+
+/// Collects per-feature-map activation ranges by tracing the float executor
+/// over a calibration set.
+///
+/// Returns one `(min, max)` per feature map (input included), the inputs to
+/// [`QuantExecutor::new`].
+///
+/// # Errors
+///
+/// Propagates executor errors; an empty calibration set yields unit ranges.
+pub fn calibrate_ranges(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<(f32, f32)>, GraphError> {
+    let fm_count = graph.spec().feature_map_count();
+    let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); fm_count];
+    let exec = FloatExecutor::new(graph);
+    for input in inputs {
+        let trace = exec.run_trace(input)?;
+        for (r, t) in ranges.iter_mut().zip(&trace) {
+            for &v in t.data() {
+                r.0 = r.0.min(v);
+                r.1 = r.1.max(v);
+            }
+        }
+    }
+    for r in &mut ranges {
+        if !r.0.is_finite() || !r.1.is_finite() {
+            *r = (0.0, 1.0);
+        }
+    }
+    Ok(ranges)
+}
+
+/// Integer executor modeling the CMSIS-NN / CMix-NN deployment stack.
+///
+/// Weighted operators (convolutions, dense) run in true integer arithmetic:
+/// `i8` inputs, per-channel quantized weights, `i32` accumulators and a
+/// rescale to the output feature map's grid. Value-preserving operators
+/// (activations, pooling, add, concat) are evaluated through
+/// dequantize→op→requantize, which is numerically equivalent to their
+/// fixed-point forms and keeps the kernel inventory small.
+///
+/// Each feature map carries its own [`Bitwidth`], so a mixed-precision plan
+/// from the VDQS search is evaluated by passing its bitwidth vector here.
+#[derive(Debug)]
+pub struct QuantExecutor<'g> {
+    graph: &'g Graph,
+    act_params: Vec<QuantParams>,
+    weight_params: Vec<Option<ChannelQuantParams>>,
+    qweights: Vec<Vec<i8>>,
+}
+
+impl<'g> QuantExecutor<'g> {
+    /// Prepares an executor from calibration ranges and a per-feature-map
+    /// activation bitwidth assignment.
+    ///
+    /// `weight_bits` applies to all weighted nodes (the paper deploys 8-bit
+    /// weights; Table II baselines use 4-bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingQuantization`] when `ranges` or
+    /// `act_bits` do not have one entry per feature map.
+    pub fn new(
+        graph: &'g Graph,
+        ranges: &[(f32, f32)],
+        act_bits: &[Bitwidth],
+        weight_bits: Bitwidth,
+    ) -> Result<Self, GraphError> {
+        let spec = graph.spec();
+        let fm_count = spec.feature_map_count();
+        if ranges.len() != fm_count {
+            return Err(GraphError::MissingQuantization { feature_map: ranges.len() });
+        }
+        if act_bits.len() != fm_count {
+            return Err(GraphError::MissingQuantization { feature_map: act_bits.len() });
+        }
+        let mut act_params = Vec::with_capacity(fm_count);
+        for (i, (&(lo, hi), &bits)) in ranges.iter().zip(act_bits).enumerate() {
+            let p = QuantParams::from_min_max(lo, hi, bits)
+                .map_err(|_| GraphError::MissingQuantization { feature_map: i })?;
+            act_params.push(p);
+        }
+        let mut weight_params = Vec::with_capacity(spec.len());
+        let mut qweights = Vec::with_capacity(spec.len());
+        for i in 0..spec.len() {
+            let w = graph.params(i).weights();
+            if w.is_empty() {
+                weight_params.push(None);
+                qweights.push(Vec::new());
+                continue;
+            }
+            let (channels, per_channel) = weight_channel_layout(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w.len());
+            let params = ChannelQuantParams::fit(
+                &regroup_by_channel(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w),
+                channels,
+                per_channel,
+                weight_bits,
+            )?;
+            let grouped = regroup_by_channel(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w);
+            let qw: Vec<i8> = grouped
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| params.quantize(j / per_channel, v) as i8)
+                .collect();
+            weight_params.push(Some(params));
+            qweights.push(qw);
+        }
+        Ok(QuantExecutor { graph, act_params, weight_params, qweights })
+    }
+
+    /// Activation parameters of feature map `fm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fm` is out of range.
+    pub fn activation_params(&self, fm: usize) -> QuantParams {
+        self.act_params[fm]
+    }
+
+    /// Runs the graph, returning the dequantized final feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run(&self, input: &Tensor) -> Result<Tensor, GraphError> {
+        let trace = self.run_trace(input)?;
+        Ok(trace.into_iter().last().expect("trace contains at least the input"))
+    }
+
+    /// Runs the graph, returning every feature map dequantized to `f32`
+    /// (index 0 is the quantize-dequantized input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+        let spec = self.graph.spec();
+        super::check_input(spec, input.shape())?;
+        // Quantized working storage per feature map, kept as i32 grid values.
+        let mut qmaps: Vec<Vec<i32>> = Vec::with_capacity(spec.len() + 1);
+        qmaps.push(input.data().iter().map(|&v| self.act_params[0].quantize(v)).collect());
+        for (i, node) in spec.nodes().iter().enumerate() {
+            let out_fm = i + 1;
+            let out = match node.op {
+                OpSpec::Conv2d { out_ch, kernel, stride, pad } => self.int_conv(
+                    i,
+                    &qmaps[src_fm(node.inputs[0])],
+                    spec.input_shapes_of(i)[0],
+                    out_fm,
+                    ConvKind::Standard { out_ch },
+                    kernel,
+                    stride,
+                    pad,
+                ),
+                OpSpec::DepthwiseConv2d { kernel, stride, pad } => self.int_conv(
+                    i,
+                    &qmaps[src_fm(node.inputs[0])],
+                    spec.input_shapes_of(i)[0],
+                    out_fm,
+                    ConvKind::Depthwise,
+                    kernel,
+                    stride,
+                    pad,
+                ),
+                OpSpec::Dense { out } => self.int_dense(
+                    i,
+                    &qmaps[src_fm(node.inputs[0])],
+                    spec.input_shapes_of(i)[0],
+                    out_fm,
+                    out,
+                ),
+                _ => {
+                    // Value-preserving ops: dequant -> float op -> requant.
+                    let tensors: Vec<Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&s| self.dequant_map(spec, s, &qmaps[src_fm(s)]))
+                        .collect();
+                    let refs: Vec<&Tensor> = tensors.iter().collect();
+                    let out_f = super::float::eval_op(node.op, &refs, &[], &[]);
+                    let p = self.act_params[out_fm];
+                    out_f.data().iter().map(|&v| p.quantize(v)).collect()
+                }
+            };
+            qmaps.push(out);
+        }
+        // Dequantize every feature map for inspection.
+        let mut result = Vec::with_capacity(qmaps.len());
+        for (fm, q) in qmaps.iter().enumerate() {
+            let shape = fm_shape(spec, fm);
+            let p = self.act_params[fm];
+            result.push(Tensor::from_fn(shape, |j| p.dequantize(q[j])));
+        }
+        Ok(result)
+    }
+
+    fn dequant_map(&self, spec: &crate::spec::GraphSpec, s: Source, q: &[i32]) -> Tensor {
+        let fm = src_fm(s);
+        let p = self.act_params[fm];
+        Tensor::from_fn(fm_shape(spec, fm), |j| p.dequantize(q[j]))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn int_conv(
+        &self,
+        node: usize,
+        q_in: &[i32],
+        in_shape: Shape,
+        out_fm: usize,
+        kind: ConvKind,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<i32> {
+        let in_fm_params = self.act_params[self.input_fm_of(node)];
+        let out_params = self.act_params[out_fm];
+        let wp = self.weight_params[node].as_ref().expect("conv has weights");
+        let qw = &self.qweights[node];
+        let bias = self.graph.params(node).bias();
+        let oh = (in_shape.h + 2 * pad - k) / stride + 1;
+        let ow = (in_shape.w + 2 * pad - k) / stride + 1;
+        let out_ch = match kind {
+            ConvKind::Standard { out_ch } => out_ch,
+            ConvKind::Depthwise => in_shape.c,
+        };
+        let os = Shape::new(in_shape.n, oh, ow, out_ch);
+        let zp_in = in_fm_params.zero_point();
+        let s_in = in_fm_params.scale() as f64;
+        let mut out = vec![0i32; os.len()];
+        let per_channel = match kind {
+            ConvKind::Standard { .. } => k * k * in_shape.c,
+            ConvKind::Depthwise => k * k,
+        };
+        for n in 0..in_shape.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for oc in 0..out_ch {
+                        let mut acc: i64 = 0;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= in_shape.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= in_shape.w {
+                                    continue;
+                                }
+                                match kind {
+                                    ConvKind::Standard { .. } => {
+                                        let in_base =
+                                            in_shape.index(n, iy as usize, ix as usize, 0);
+                                        let w_base = (oc * k * k + ky * k + kx) * in_shape.c;
+                                        for ic in 0..in_shape.c {
+                                            let a = q_in[in_base + ic] - zp_in;
+                                            let w = qw[w_base + ic] as i32;
+                                            acc += (a * w) as i64;
+                                        }
+                                    }
+                                    ConvKind::Depthwise => {
+                                        let a = q_in
+                                            [in_shape.index(n, iy as usize, ix as usize, oc)]
+                                            - zp_in;
+                                        let w = qw[oc * per_channel + ky * k + kx] as i32;
+                                        acc += (a * w) as i64;
+                                    }
+                                }
+                            }
+                        }
+                        // Bias enters the accumulator in its own grid.
+                        let s_w = wp.scale(oc) as f64;
+                        let acc_scale = s_in * s_w;
+                        let bias_q = (bias[oc] as f64 / acc_scale).round() as i64;
+                        acc += bias_q;
+                        // Requantize to the output grid.
+                        let real = acc as f64 * acc_scale;
+                        let q = (real / out_params.scale() as f64).round() as i32
+                            + out_params.zero_point();
+                        out[os.index(n, oy, ox, oc)] = q.clamp(
+                            out_params.bitwidth().min_value(),
+                            out_params.bitwidth().max_value(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn int_dense(
+        &self,
+        node: usize,
+        q_in: &[i32],
+        in_shape: Shape,
+        out_fm: usize,
+        out_f: usize,
+    ) -> Vec<i32> {
+        let in_params = self.act_params[self.input_fm_of(node)];
+        let out_params = self.act_params[out_fm];
+        let wp = self.weight_params[node].as_ref().expect("dense has weights");
+        let qw = &self.qweights[node];
+        let bias = self.graph.params(node).bias();
+        let fan_in = in_shape.per_sample();
+        let zp_in = in_params.zero_point();
+        let s_in = in_params.scale() as f64;
+        let mut out = vec![0i32; in_shape.n * out_f];
+        for n in 0..in_shape.n {
+            for o in 0..out_f {
+                let mut acc: i64 = 0;
+                for j in 0..fan_in {
+                    let a = q_in[n * fan_in + j] - zp_in;
+                    let w = qw[o * fan_in + j] as i32;
+                    acc += (a * w) as i64;
+                }
+                let acc_scale = s_in * wp.scale(o) as f64;
+                acc += (bias[o] as f64 / acc_scale).round() as i64;
+                let real = acc as f64 * acc_scale;
+                let q = (real / out_params.scale() as f64).round() as i32
+                    + out_params.zero_point();
+                out[n * out_f + o] = q.clamp(
+                    out_params.bitwidth().min_value(),
+                    out_params.bitwidth().max_value(),
+                );
+            }
+        }
+        out
+    }
+
+    fn input_fm_of(&self, node: usize) -> usize {
+        src_fm(self.graph.spec().nodes()[node].inputs[0])
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ConvKind {
+    Standard { out_ch: usize },
+    Depthwise,
+}
+
+fn src_fm(s: Source) -> usize {
+    match s {
+        Source::Input => 0,
+        Source::Node(i) => i + 1,
+    }
+}
+
+fn fm_shape(spec: &crate::spec::GraphSpec, fm: usize) -> Shape {
+    if fm == 0 {
+        spec.input_shape()
+    } else {
+        spec.node_shape(fm - 1)
+    }
+}
+
+/// Channel grouping of a weighted op's buffer: `(channels, per_channel)`.
+fn weight_channel_layout(op: OpSpec, in_shape: Shape, w_len: usize) -> (usize, usize) {
+    match op {
+        OpSpec::Conv2d { out_ch, .. } => (out_ch, w_len / out_ch),
+        OpSpec::DepthwiseConv2d { kernel, .. } => (in_shape.c, kernel * kernel),
+        OpSpec::Dense { out } => (out, w_len / out),
+        _ => (1, w_len),
+    }
+}
+
+/// Rearranges weights so each channel's values are contiguous, the layout
+/// [`ChannelQuantParams::fit`] expects. Conv (OHWI) and dense are already
+/// channel-major; depthwise is stored `[kh][kw][c]` and must be transposed
+/// to `[c][kh][kw]`.
+fn regroup_by_channel(op: OpSpec, in_shape: Shape, w: &[f32]) -> Vec<f32> {
+    match op {
+        OpSpec::DepthwiseConv2d { kernel, .. } => {
+            let c = in_shape.c;
+            let kk = kernel * kernel;
+            let mut out = vec![0.0f32; w.len()];
+            for ch in 0..c {
+                for t in 0..kk {
+                    out[ch * kk + t] = w[t * c + ch];
+                }
+            }
+            out
+        }
+        _ => w.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphSpecBuilder;
+    use crate::init;
+
+    fn small_graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .dwconv(3, 1, 1)
+            .relu6()
+            .pwconv(12)
+            .global_avg_pool()
+            .dense(5)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 11)
+    }
+
+    fn calib_inputs(shape: Shape, count: usize) -> Vec<Tensor> {
+        (0..count)
+            .map(|s| Tensor::from_fn(shape, |i| (((i + s * 131) as f32) * 0.7).sin()))
+            .collect()
+    }
+
+    fn uniform_bits(graph: &Graph, b: Bitwidth) -> Vec<Bitwidth> {
+        vec![b; graph.spec().feature_map_count()]
+    }
+
+    #[test]
+    fn int8_tracks_float_closely() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 4);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8)
+            .unwrap();
+        let fe = FloatExecutor::new(&g);
+        let f_out = fe.run(&inputs[0]).unwrap();
+        let q_out = qe.run(&inputs[0]).unwrap();
+        let denom = f_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        let rel = f_out.mean_abs_diff(&q_out) / denom;
+        assert!(rel < 0.1, "int8 relative error too large: {rel}");
+    }
+
+    #[test]
+    fn lower_bits_increase_error_monotonically() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 4);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let fe = FloatExecutor::new(&g);
+        let f_out = fe.run(&inputs[0]).unwrap();
+        let mut errs = Vec::new();
+        for b in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
+            let qe =
+                QuantExecutor::new(&g, &ranges, &uniform_bits(&g, b), Bitwidth::W8).unwrap();
+            errs.push(f_out.mean_abs_diff(&qe.run(&inputs[0]).unwrap()));
+        }
+        assert!(errs[0] <= errs[1] + 1e-6, "8-bit ({}) should beat 4-bit ({})", errs[0], errs[1]);
+        assert!(errs[1] <= errs[2] + 1e-6, "4-bit ({}) should beat 2-bit ({})", errs[1], errs[2]);
+    }
+
+    #[test]
+    fn mixed_plan_runs_and_is_between_uniform_extremes() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 4);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let fm = g.spec().feature_map_count();
+        // First half of the maps at 4-bit, rest at 8-bit.
+        let bits: Vec<Bitwidth> = (0..fm)
+            .map(|i| if i < fm / 2 { Bitwidth::W4 } else { Bitwidth::W8 })
+            .collect();
+        let qe = QuantExecutor::new(&g, &ranges, &bits, Bitwidth::W8).unwrap();
+        let out = qe.run(&inputs[0]).unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rejects_wrong_metadata_lengths() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 1);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let short = &ranges[..2];
+        assert!(matches!(
+            QuantExecutor::new(&g, short, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8),
+            Err(GraphError::MissingQuantization { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_lengths_match_feature_maps() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 2);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8)
+            .unwrap();
+        let trace = qe.run_trace(&inputs[0]).unwrap();
+        assert_eq!(trace.len(), g.spec().feature_map_count());
+    }
+
+    #[test]
+    fn calibration_ranges_cover_observations() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 3);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let trace = FloatExecutor::new(&g).run_trace(&inputs[1]).unwrap();
+        for (fm, t) in trace.iter().enumerate() {
+            for &v in t.data() {
+                assert!(v >= ranges[fm].0 - 1e-6 && v <= ranges[fm].1 + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Layer-by-layer inference: the traditional schedule. No redundant
+//! computation, but every full-size feature map must fit in SRAM.
+
+use quantmcu_nn::cost::{self, BitwidthAssignment};
+use quantmcu_nn::GraphSpec;
+use quantmcu_tensor::Bitwidth;
+
+use super::ScheduleCost;
+
+/// Costs layer-based int8 inference of `spec`.
+pub fn cost(spec: &GraphSpec) -> ScheduleCost {
+    let assignment = BitwidthAssignment::uniform(spec, Bitwidth::W8);
+    let macs = cost::total_macs(spec);
+    ScheduleCost {
+        peak_memory_bytes: cost::peak_activation_bytes(spec, &assignment),
+        macs,
+        bitops: ScheduleCost::uniform_bitops(macs, Bitwidth::W8, Bitwidth::W8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::GraphSpecBuilder;
+    use quantmcu_tensor::Shape;
+
+    #[test]
+    fn bitops_are_64x_macs_at_8_8() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 1, 1)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        let c = cost(&spec);
+        assert_eq!(c.bitops, c.macs * 64);
+        assert!(c.peak_memory_bytes > 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The inference schedules QuantMCU is compared against in Table I and
+//! Fig. 1b.
+//!
+//! * [`layer_based`] — plain layer-by-layer execution (the latency/BitOPs
+//!   floor, the memory ceiling).
+//! * [`mcunetv2`] — patch-based inference with MCUNetV2's scheduling
+//!   policy: the deepest feasible per-patch stage, grid picked to fit the
+//!   SRAM budget.
+//! * [`cipolletta`] — the dataflow-restructuring search of Cipolletta &
+//!   Calimera (DATE 2021): exhaustive search over split depth × grid for
+//!   the minimum-peak-memory schedule.
+//! * [`rnnpool`] — RNNPool (Saha et al., NeurIPS 2020): replaces the
+//!   memory-hungry early stage with an aggressive pooling operator.
+
+pub mod cipolletta;
+pub mod layer_based;
+pub mod mcunetv2;
+pub mod rnnpool;
+
+use quantmcu_tensor::Bitwidth;
+
+/// Cost summary shared by every schedule, one Table I cell group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleCost {
+    /// Peak SRAM in bytes.
+    pub peak_memory_bytes: usize,
+    /// Whole-network MACs (including patch redundancy).
+    pub macs: u64,
+    /// Whole-network BitOPs.
+    pub bitops: u64,
+}
+
+impl ScheduleCost {
+    /// BitOPs for uniformly quantized schedules: `macs × w × a`.
+    pub(crate) fn uniform_bitops(macs: u64, w: Bitwidth, a: Bitwidth) -> u64 {
+        macs * w.bits() as u64 * a.bits() as u64
+    }
+}

@@ -1,0 +1,160 @@
+use quantmcu_nn::receptive::backward_regions;
+use quantmcu_nn::{GraphSpec, OpSpec};
+use quantmcu_tensor::Region;
+
+use crate::plan::PatchPlan;
+
+/// One dataflow branch: the per-layer regions a patch computation touches.
+///
+/// `regions[i]` is the region of feature map `i` (0 = the graph input,
+/// `head_len` = the stage output) that this branch reads or writes; they
+/// are produced by receptive-field back-propagation from the branch's
+/// stage-output patch, so interior entries include the halo the branch
+/// recomputes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    index: usize,
+    regions: Vec<Region>,
+}
+
+impl Branch {
+    /// Builds every branch of `plan` against the head of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan was built for a different spec (split point out
+    /// of range). Use the same spec for plan and branches.
+    pub fn build_all(spec: &GraphSpec, plan: &PatchPlan) -> Vec<Branch> {
+        let (head, _tail) = spec
+            .split_at(plan.split_at())
+            .expect("plan validated the split point against this spec");
+        plan.patch_regions()
+            .into_iter()
+            .enumerate()
+            .map(|(index, out_region)| Branch {
+                index,
+                regions: backward_regions(&head, out_region),
+            })
+            .collect()
+    }
+
+    /// This branch's position in the row-major patch grid.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The per-feature-map regions, input first, stage output last.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The branch's stage-output patch.
+    pub fn output_region(&self) -> Region {
+        *self.regions.last().expect("a branch spans at least the input map")
+    }
+
+    /// The input crop (with halo) this branch reads.
+    pub fn input_region(&self) -> Region {
+        self.regions[0]
+    }
+
+    /// MACs this branch performs in head layer `i` (the region area times
+    /// the operator's per-position MAC cost).
+    pub fn layer_macs(&self, head: &GraphSpec, i: usize) -> u64 {
+        let out_region = self.regions[i + 1];
+        per_position_macs(head, i) * out_region.area() as u64
+    }
+
+    /// Total MACs of the branch across the head.
+    pub fn total_macs(&self, head: &GraphSpec) -> u64 {
+        (0..head.len()).map(|i| self.layer_macs(head, i)).sum()
+    }
+}
+
+/// MACs needed per output position of head node `i`.
+pub(crate) fn per_position_macs(head: &GraphSpec, i: usize) -> u64 {
+    let in_c = head.input_shapes_of(i)[0].c as u64;
+    match head.nodes()[i].op {
+        OpSpec::Conv2d { out_ch, kernel, .. } => out_ch as u64 * (kernel * kernel) as u64 * in_c,
+        OpSpec::DepthwiseConv2d { kernel, .. } => in_c * (kernel * kernel) as u64,
+        // Spatial-only head ops: pooling and activations carry no MACs,
+        // matching the full-graph convention in `quantmcu_nn::cost`.
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::{cost, GraphSpecBuilder};
+    use quantmcu_tensor::Shape;
+
+    fn spec() -> GraphSpec {
+        GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 1, 1) // 16x16, halo 1
+            .relu6()
+            .conv2d(8, 3, 2, 1) // 8x8
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn branches_cover_stage_output() {
+        let s = spec();
+        let plan = PatchPlan::new(&s, 3, 2, 2).unwrap();
+        let branches = Branch::build_all(&s, &plan);
+        assert_eq!(branches.len(), 4);
+        let covered: usize = branches.iter().map(|b| b.output_region().area()).sum();
+        assert_eq!(covered, 8 * 8);
+    }
+
+    #[test]
+    fn input_regions_overlap_due_to_halo() {
+        let s = spec();
+        let plan = PatchPlan::new(&s, 3, 2, 2).unwrap();
+        let branches = Branch::build_all(&s, &plan);
+        // Adjacent branches must share input pixels (the halo).
+        let a = branches[0].input_region();
+        let b = branches[1].input_region();
+        assert!(a.intersect(&b).is_some(), "halo should overlap: {a} vs {b}");
+    }
+
+    #[test]
+    fn branch_macs_exceed_share_of_full_macs() {
+        let s = spec();
+        let (head, _) = s.split_at(3).unwrap();
+        let plan = PatchPlan::new(&s, 3, 2, 2).unwrap();
+        let branches = Branch::build_all(&s, &plan);
+        let full: u64 = cost::total_macs(&head);
+        let patched: u64 = branches.iter().map(|b| b.total_macs(&head)).sum();
+        assert!(patched > full, "patched {patched} should exceed layer-based {full}");
+        // ...but not absurdly so for a 2x2 grid on 16x16.
+        assert!(patched < full * 2, "overhead unreasonable: {patched} vs {full}");
+    }
+
+    #[test]
+    fn single_patch_grid_equals_layer_based() {
+        let s = spec();
+        let plan = PatchPlan::new(&s, 3, 1, 1).unwrap();
+        let branches = Branch::build_all(&s, &plan);
+        let (head, _) = s.split_at(3).unwrap();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].total_macs(&head), cost::total_macs(&head));
+    }
+
+    #[test]
+    fn per_position_macs_match_cost_model() {
+        let s = spec();
+        let (head, _) = s.split_at(3).unwrap();
+        for i in 0..head.len() {
+            let out = head.node_shape(i);
+            assert_eq!(
+                per_position_macs(&head, i) * (out.h * out.w) as u64,
+                cost::node_macs(&head, i),
+                "node {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,454 @@
+use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::{Graph, GraphSpec, OpSpec, Source};
+use quantmcu_tensor::{QuantParams, Region, Tensor};
+
+use crate::branch::Branch;
+use crate::error::PatchError;
+use crate::plan::PatchPlan;
+
+/// The result of one patch-based inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchOutput {
+    /// The stitched stage output (input of the tail).
+    pub stage_output: Tensor,
+    /// Each branch's stage-output patch, row-major.
+    pub branch_outputs: Vec<Tensor>,
+    /// The network's final output after the tail.
+    pub final_output: Tensor,
+}
+
+/// Executes a [`PatchPlan`] numerically.
+///
+/// Per branch, the executor computes only the feature-map regions the
+/// branch's receptive field requires (halo included) — on patch interiors
+/// this is bit-identical to full execution, which
+/// `stitched_equals_full_execution` in the test suite asserts. Passing
+/// per-branch quantization parameters fake-quantizes every feature-map
+/// region as it is produced, which is how mixed-precision dataflow
+/// branches (the heart of QuantMCU) are evaluated numerically; the dense
+/// integer path is validated separately in `quantmcu_nn::exec`.
+#[derive(Debug)]
+pub struct PatchExecutor<'g> {
+    graph: &'g Graph,
+    plan: PatchPlan,
+    head: GraphSpec,
+    tail_graph: Graph,
+    branches: Vec<Branch>,
+}
+
+impl<'g> PatchExecutor<'g> {
+    /// Prepares an executor for `plan` over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::Graph`] when the plan's split point does not
+    /// match the graph (e.g. a skip edge crosses it).
+    pub fn new(graph: &'g Graph, plan: PatchPlan) -> Result<Self, PatchError> {
+        let spec = graph.spec();
+        let (head, tail) = spec.split_at(plan.split_at())?;
+        let branches = Branch::build_all(spec, &plan);
+        let tail_params =
+            (plan.split_at()..spec.len()).map(|i| graph.params(i).clone()).collect();
+        let tail_graph = Graph::new(tail, tail_params);
+        Ok(PatchExecutor { graph, plan, head, tail_graph, branches })
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &PatchPlan {
+        &self.plan
+    }
+
+    /// The per-patch stage spec.
+    pub fn head(&self) -> &GraphSpec {
+        &self.head
+    }
+
+    /// The branches, row-major.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// Runs full patch-based inference in float precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError`] when the input shape mismatches or a region
+    /// operation fails.
+    pub fn run(&self, input: &Tensor) -> Result<PatchOutput, PatchError> {
+        self.run_quantized(input, None)
+    }
+
+    /// Runs patch-based inference, optionally fake-quantizing each branch.
+    ///
+    /// `branch_quant`, when present, provides one `Vec<QuantParams>` per
+    /// branch with one entry per head feature map (head length + 1); the
+    /// region of feature map `i` computed by that branch is snapped to the
+    /// corresponding grid right after it is produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::BitwidthLength`] when a parameter vector has
+    /// the wrong length, or propagated graph/tensor errors.
+    pub fn run_quantized(
+        &self,
+        input: &Tensor,
+        branch_quant: Option<&[Vec<QuantParams>]>,
+    ) -> Result<PatchOutput, PatchError> {
+        if let Some(q) = branch_quant {
+            if q.len() != self.branches.len() {
+                return Err(PatchError::BitwidthLength {
+                    expected: self.branches.len(),
+                    actual: q.len(),
+                });
+            }
+            for params in q {
+                if params.len() != self.head.len() + 1 {
+                    return Err(PatchError::BitwidthLength {
+                        expected: self.head.len() + 1,
+                        actual: params.len(),
+                    });
+                }
+            }
+        }
+        let stage_shape = self.head.output_shape();
+        let mut stage_output = Tensor::zeros(stage_shape);
+        let mut branch_outputs = Vec::with_capacity(self.branches.len());
+        for (bi, branch) in self.branches.iter().enumerate() {
+            let quant = branch_quant.map(|q| q[bi].as_slice());
+            let patch = self.run_branch(input, branch, quant)?;
+            stage_output.paste(branch.output_region(), &patch)?;
+            branch_outputs.push(patch);
+        }
+        let final_output = FloatExecutor::new(&self.tail_graph).run(&stage_output)?;
+        Ok(PatchOutput { stage_output, branch_outputs, final_output })
+    }
+
+    /// Computes one branch's stage-output patch via region-restricted
+    /// execution over the head DAG (residual adds and concats included).
+    fn run_branch(
+        &self,
+        input: &Tensor,
+        branch: &Branch,
+        quant: Option<&[QuantParams]>,
+    ) -> Result<Tensor, PatchError> {
+        let regions = branch.regions();
+        let mut maps: Vec<Tensor> = Vec::with_capacity(self.head.len() + 1);
+        maps.push(if let Some(q) = quant {
+            fake_quant_region(input, regions[0], &q[0])
+        } else {
+            input.clone()
+        });
+        for i in 0..self.head.len() {
+            let out_shape = self.head.node_shape(i);
+            let mut out = Tensor::zeros(out_shape);
+            let inputs: Vec<&Tensor> =
+                self.head.nodes()[i].inputs.iter().map(|s| &maps[src_fm(*s)]).collect();
+            eval_region(
+                self.head.nodes()[i].op,
+                &inputs,
+                &mut out,
+                regions[i + 1],
+                self.graph.params(i).weights(),
+                self.graph.params(i).bias(),
+            );
+            if let Some(q) = quant {
+                out = fake_quant_region(&out, regions[i + 1], &q[i + 1]);
+            }
+            maps.push(out);
+        }
+        Ok(maps.last().expect("head output").crop(branch.output_region())?)
+    }
+}
+
+fn src_fm(s: Source) -> usize {
+    match s {
+        Source::Input => 0,
+        Source::Node(i) => i + 1,
+    }
+}
+
+/// Quantize-dequantizes the values inside `region` (all channels), leaving
+/// the rest of the tensor untouched.
+fn fake_quant_region(t: &Tensor, region: Region, params: &QuantParams) -> Tensor {
+    let mut out = t.clone();
+    let shape = t.shape();
+    for n in 0..shape.n {
+        for y in region.y..region.y_end().min(shape.h) {
+            for x in region.x..region.x_end().min(shape.w) {
+                for c in 0..shape.c {
+                    let v = out.at(n, y, x, c);
+                    out.set(n, y, x, c, params.dequantize(params.quantize(v)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a spatial operator only within `region` of the output map.
+/// Reads outside the input map's bounds behave as zero padding, exactly
+/// like full execution.
+fn eval_region(
+    op: OpSpec,
+    inputs: &[&Tensor],
+    out: &mut Tensor,
+    region: Region,
+    weights: &[f32],
+    bias: &[f32],
+) {
+    let input = inputs[0];
+    let is = input.shape();
+    let os = out.shape();
+    let region_y_end = region.y_end().min(os.h);
+    let region_x_end = region.x_end().min(os.w);
+    match op {
+        OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        for oc in 0..out_ch {
+                            let mut acc = bias[oc];
+                            for ky in 0..kernel {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy as usize >= is.h {
+                                    continue;
+                                }
+                                for kx in 0..kernel {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix as usize >= is.w {
+                                        continue;
+                                    }
+                                    let ib = is.index(n, iy as usize, ix as usize, 0);
+                                    let wb = ((oc * kernel + ky) * kernel + kx) * is.c;
+                                    for ic in 0..is.c {
+                                        acc += input.data()[ib + ic] * weights[wb + ic];
+                                    }
+                                }
+                            }
+                            out.set(n, oy, ox, oc, acc);
+                        }
+                    }
+                }
+            }
+        }
+        OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        for c in 0..is.c {
+                            let mut acc = bias[c];
+                            for ky in 0..kernel {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy as usize >= is.h {
+                                    continue;
+                                }
+                                for kx in 0..kernel {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix as usize >= is.w {
+                                        continue;
+                                    }
+                                    acc += input.at(n, iy as usize, ix as usize, c)
+                                        * weights[(ky * kernel + kx) * is.c + c];
+                                }
+                            }
+                            out.set(n, oy, ox, c, acc);
+                        }
+                    }
+                }
+            }
+        }
+        OpSpec::MaxPool { kernel, stride } | OpSpec::AvgPool { kernel, stride } => {
+            let is_max = matches!(op, OpSpec::MaxPool { .. });
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        for c in 0..is.c {
+                            let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    let v = input.at(n, oy * stride + ky, ox * stride + kx, c);
+                                    if is_max {
+                                        acc = acc.max(v);
+                                    } else {
+                                        acc += v;
+                                    }
+                                }
+                            }
+                            if !is_max {
+                                acc /= (kernel * kernel) as f32;
+                            }
+                            out.set(n, oy, ox, c, acc);
+                        }
+                    }
+                }
+            }
+        }
+        OpSpec::Relu | OpSpec::Relu6 => {
+            let hi = if matches!(op, OpSpec::Relu6) { 6.0 } else { f32::INFINITY };
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        for c in 0..is.c {
+                            out.set(n, oy, ox, c, input.at(n, oy, ox, c).clamp(0.0, hi));
+                        }
+                    }
+                }
+            }
+        }
+        OpSpec::Add => {
+            let b = inputs[1];
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        for c in 0..is.c {
+                            out.set(n, oy, ox, c, input.at(n, oy, ox, c) + b.at(n, oy, ox, c));
+                        }
+                    }
+                }
+            }
+        }
+        OpSpec::Concat => {
+            for n in 0..is.n {
+                for oy in region.y..region_y_end {
+                    for ox in region.x..region_x_end {
+                        let mut base = 0;
+                        for t in inputs {
+                            for c in 0..t.shape().c {
+                                out.set(n, oy, ox, base + c, t.at(n, oy, ox, c));
+                            }
+                            base += t.shape().c;
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("non-spatial operator {op} cannot appear in a per-patch stage"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::{Bitwidth, Shape};
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .dwconv(3, 1, 1)
+            .relu6()
+            .pwconv(12)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 21)
+    }
+
+    fn input() -> Tensor {
+        Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i as f32) * 0.31).sin())
+    }
+
+    #[test]
+    fn stitched_equals_full_execution() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let out = pe.run(&input()).unwrap();
+        let full = FloatExecutor::new(&g).run_trace(&input()).unwrap();
+        // Stage output (feature map 5) must match exactly.
+        let full_stage = &full[5];
+        assert!(
+            out.stage_output.mean_abs_diff(full_stage) < 1e-5,
+            "stage mismatch: {}",
+            out.stage_output.mean_abs_diff(full_stage)
+        );
+        // And therefore the final output too.
+        assert!(out.final_output.mean_abs_diff(full.last().unwrap()) < 1e-4);
+    }
+
+    #[test]
+    fn three_by_three_grid_also_exact() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 3, 3).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let out = pe.run(&input()).unwrap();
+        let full = FloatExecutor::new(&g).run(&input()).unwrap();
+        assert!(out.final_output.mean_abs_diff(&full) < 1e-4);
+    }
+
+    #[test]
+    fn quantized_branches_stay_close_at_8_bit() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        // Build per-branch 8-bit params from a float trace.
+        let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
+        let params: Vec<QuantParams> = trace[..6]
+            .iter()
+            .map(|t| QuantParams::from_tensor(t, Bitwidth::W8))
+            .collect();
+        let per_branch = vec![params; 4];
+        let q = pe.run_quantized(&input(), Some(&per_branch)).unwrap();
+        let f = pe.run(&input()).unwrap();
+        let denom =
+            f.stage_output.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        assert!(q.stage_output.mean_abs_diff(&f.stage_output) / denom < 0.05);
+    }
+
+    #[test]
+    fn two_bit_branches_lose_more_than_8_bit() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
+        let mk = |b: Bitwidth| -> Vec<Vec<QuantParams>> {
+            let p: Vec<QuantParams> =
+                trace[..6].iter().map(|t| QuantParams::from_tensor(t, b)).collect();
+            vec![p; 4]
+        };
+        let f = pe.run(&input()).unwrap();
+        let e8 = pe
+            .run_quantized(&input(), Some(&mk(Bitwidth::W8)))
+            .unwrap()
+            .stage_output
+            .mean_abs_diff(&f.stage_output);
+        let e2 = pe
+            .run_quantized(&input(), Some(&mk(Bitwidth::W2)))
+            .unwrap()
+            .stage_output
+            .mean_abs_diff(&f.stage_output);
+        assert!(e2 > e8, "2-bit error {e2} should exceed 8-bit error {e8}");
+    }
+
+    #[test]
+    fn mixed_per_branch_bitwidths_accepted() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
+        // Branch 0 at 8-bit (outlier class), others at 2-bit.
+        let p8: Vec<QuantParams> =
+            trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W8)).collect();
+        let p2: Vec<QuantParams> =
+            trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W2)).collect();
+        let per_branch = vec![p8, p2.clone(), p2.clone(), p2];
+        let out = pe.run_quantized(&input(), Some(&per_branch)).unwrap();
+        assert!(out.final_output.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn wrong_quant_lengths_rejected() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let bad: Vec<Vec<QuantParams>> = vec![Vec::new(); 4];
+        assert!(matches!(
+            pe.run_quantized(&input(), Some(&bad)),
+            Err(PatchError::BitwidthLength { .. })
+        ));
+        let bad_count: Vec<Vec<QuantParams>> = Vec::new();
+        assert!(pe.run_quantized(&input(), Some(&bad_count)).is_err());
+    }
+}

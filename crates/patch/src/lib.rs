@@ -1,0 +1,39 @@
+//! Patch-based inference engine for the QuantMCU reproduction.
+//!
+//! Patch-based inference (Fig. 1a of the paper) splits the input of the
+//! network's first stage spatially; each *dataflow branch* computes one
+//! patch of the stage's output from the (halo-expanded) input region that
+//! influences it, then the remaining layers run layer-by-layer on the
+//! stitched result. The per-branch working set is a fraction of the full
+//! feature maps, which slashes peak SRAM — at the cost of recomputing the
+//! halo overlap, the redundant computation QuantMCU attacks.
+//!
+//! The crate provides:
+//!
+//! * [`PatchPlan`] — split point + patch grid, with validity checks;
+//! * [`Branch`] — the per-layer regions of one dataflow branch, derived by
+//!   receptive-field back-propagation;
+//! * [`PatchExecutor`] — runs a plan numerically (optionally with
+//!   per-feature-map fake quantization, which is how mixed-precision
+//!   branches are evaluated) and is bit-identical to full execution on
+//!   patch interiors;
+//! * [`redundancy`] — the overlap accounting behind Fig. 1b;
+//! * [`memory`] — the per-branch peak-SRAM model behind Table I;
+//! * [`baselines`] — layer-based inference, MCUNetV2, Cipolletta et al.'s
+//!   restructuring search and RNNPool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod branch;
+mod engine;
+mod error;
+pub mod memory;
+mod plan;
+pub mod redundancy;
+
+pub use branch::Branch;
+pub use engine::{PatchExecutor, PatchOutput};
+pub use error::PatchError;
+pub use plan::{grid_regions, largest_straight_prefix, PatchPlan};

@@ -1,0 +1,122 @@
+//! Redundant-computation accounting (the Fig. 1a/1b phenomenon).
+//!
+//! Patch halos overlap, so the per-patch stage computes some positions more
+//! than once. This module quantifies that overhead: total patched MACs
+//! versus the layer-based MACs of the same stage, both for the head alone
+//! and for whole-network inference (head + unchanged tail).
+
+use quantmcu_nn::{cost, GraphSpec};
+
+use crate::branch::Branch;
+use crate::error::PatchError;
+use crate::plan::PatchPlan;
+
+/// MAC accounting of a patch plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// MACs of layer-based execution of the per-patch stage.
+    pub head_layer_macs: u64,
+    /// MACs of patch-based execution of the stage (sum over branches).
+    pub head_patch_macs: u64,
+    /// MACs of the tail (identical for both schedules).
+    pub tail_macs: u64,
+}
+
+impl RedundancyReport {
+    /// Whole-network MACs under layer-based execution.
+    pub fn layer_based_total(&self) -> u64 {
+        self.head_layer_macs + self.tail_macs
+    }
+
+    /// Whole-network MACs under patch-based execution.
+    pub fn patch_based_total(&self) -> u64 {
+        self.head_patch_macs + self.tail_macs
+    }
+
+    /// Redundant MACs introduced by the halos.
+    pub fn redundant_macs(&self) -> u64 {
+        self.head_patch_macs.saturating_sub(self.head_layer_macs)
+    }
+
+    /// Whole-network overhead ratio (`patch / layer`, ≥ 1). The paper's
+    /// Fig. 1b reports this as an 8–17% latency increase.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.layer_based_total() == 0 {
+            return 1.0;
+        }
+        self.patch_based_total() as f64 / self.layer_based_total() as f64
+    }
+}
+
+/// Analyzes the redundancy of `plan` over `spec`.
+///
+/// # Errors
+///
+/// Returns [`PatchError::Graph`] when the plan's split point is invalid for
+/// the spec.
+pub fn analyze(spec: &GraphSpec, plan: &PatchPlan) -> Result<RedundancyReport, PatchError> {
+    let (head, tail) = spec.split_at(plan.split_at())?;
+    let branches = Branch::build_all(spec, plan);
+    let head_patch_macs = branches.iter().map(|b| b.total_macs(&head)).sum();
+    Ok(RedundancyReport {
+        head_layer_macs: cost::total_macs(&head),
+        head_patch_macs,
+        tail_macs: cost::total_macs(&tail),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::GraphSpecBuilder;
+    use quantmcu_tensor::Shape;
+
+    fn spec() -> GraphSpec {
+        GraphSpecBuilder::new(Shape::hwc(32, 32, 3))
+            .conv2d(8, 3, 1, 1)
+            .relu6()
+            .conv2d(8, 3, 1, 1)
+            .relu6()
+            .conv2d(16, 3, 2, 1)
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn overhead_grows_with_grid_fineness() {
+        let s = spec();
+        let r2 = analyze(&s, &PatchPlan::new(&s, 5, 2, 2).unwrap()).unwrap();
+        let r4 = analyze(&s, &PatchPlan::new(&s, 5, 4, 4).unwrap()).unwrap();
+        assert!(r2.overhead_ratio() > 1.0);
+        assert!(r4.overhead_ratio() > r2.overhead_ratio());
+    }
+
+    #[test]
+    fn single_patch_has_no_overhead() {
+        let s = spec();
+        let r = analyze(&s, &PatchPlan::new(&s, 5, 1, 1).unwrap()).unwrap();
+        assert_eq!(r.redundant_macs(), 0);
+        assert!((r.overhead_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1b_regime_for_moderate_grids() {
+        // The paper reports 8-17% whole-network overhead for its
+        // configurations; a 2x2 grid over a 3-conv stage of a deeper net
+        // should land in single-digit-to-tens percent, not 2x.
+        let s = spec();
+        let r = analyze(&s, &PatchPlan::new(&s, 5, 2, 2).unwrap()).unwrap();
+        let pct = (r.overhead_ratio() - 1.0) * 100.0;
+        assert!((1.0..60.0).contains(&pct), "overhead {pct}%");
+    }
+
+    #[test]
+    fn deeper_stage_increases_redundancy() {
+        let s = spec();
+        let shallow = analyze(&s, &PatchPlan::new(&s, 1, 2, 2).unwrap()).unwrap();
+        let deep = analyze(&s, &PatchPlan::new(&s, 5, 2, 2).unwrap()).unwrap();
+        assert!(deep.redundant_macs() > shallow.redundant_macs());
+    }
+}

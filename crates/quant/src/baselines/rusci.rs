@@ -1,0 +1,179 @@
+//! Memory-driven mixed low-precision quantization (Rusci et al., MLSys
+//! 2020).
+//!
+//! Rusci et al. pick each tensor's bitwidth from the device's memory
+//! constraints alone: activations are narrowed until every adjacent
+//! producer/consumer pair fits SRAM, weights until the model fits flash —
+//! accuracy is not part of the rule (the published flow relies on
+//! quantization-aware retraining to claw accuracy back, which prices its
+//! modeled search time at ~11 epochs). The reproduction implements the
+//! same greedy largest-first narrowing.
+
+use std::time::Instant;
+
+use quantmcu_nn::cost::{self, BitwidthAssignment};
+use quantmcu_nn::exec::calibrate_ranges;
+use quantmcu_nn::{Graph, GraphError};
+use quantmcu_tensor::{Bitwidth, Tensor};
+
+use crate::error::QuantError;
+
+use super::{QuantizerOutcome, TimeModel};
+
+/// Runs the memory-driven quantizer against an SRAM budget (bytes) and a
+/// flash budget (bytes).
+///
+/// # Errors
+///
+/// Returns [`QuantError::MemoryInfeasible`] when no assignment fits, and
+/// propagates executor errors from calibration.
+pub fn run(
+    graph: &Graph,
+    calib: &[Tensor],
+    sram_budget: usize,
+    flash_budget: usize,
+    time: &TimeModel,
+) -> Result<QuantizerOutcome, QuantError> {
+    let start = Instant::now();
+    let spec = graph.spec();
+    let ranges = calibrate_ranges(graph, calib).map_err(graph_to_quant)?;
+
+    // Weights: the widest bitwidth whose flash footprint fits.
+    let weight_bits = [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2]
+        .into_iter()
+        .find(|&b| cost::flash_bytes(spec, b) <= flash_budget)
+        .ok_or_else(|| QuantError::MemoryInfeasible {
+            pair: (0, 0),
+            needed: cost::flash_bytes(spec, Bitwidth::W2),
+            budget: flash_budget,
+        })?;
+
+    // Activations: start at 8-bit; while an adjacent pair overflows SRAM,
+    // narrow the larger map of the worst pair.
+    let fm_count = spec.feature_map_count();
+    let elems: Vec<usize> =
+        spec.feature_map_ids().map(|id| spec.feature_map_shape(id).len()).collect();
+    let mut bits = vec![Bitwidth::W8; fm_count];
+    let bytes = |fm: usize, bits: &[Bitwidth]| bits[fm].bytes_for(elems[fm]);
+    loop {
+        let worst = (0..fm_count.saturating_sub(1))
+            .map(|i| (i, bytes(i, &bits) + bytes(i + 1, &bits)))
+            .filter(|&(_, sz)| sz > sram_budget)
+            .max_by_key(|&(_, sz)| sz);
+        let Some((i, _)) = worst else { break };
+        // Narrow the larger of the two maps, if possible.
+        let (a, b) = (i, i + 1);
+        let target = if bytes(a, &bits) >= bytes(b, &bits) { a } else { b };
+        let next = match bits[target] {
+            Bitwidth::W8 => Some(Bitwidth::W4),
+            Bitwidth::W4 => Some(Bitwidth::W2),
+            _ => None,
+        };
+        match next {
+            Some(nb) => bits[target] = nb,
+            None => {
+                // Try the other map before declaring infeasibility.
+                let other = if target == a { b } else { a };
+                let next_other = match bits[other] {
+                    Bitwidth::W8 => Some(Bitwidth::W4),
+                    Bitwidth::W4 => Some(Bitwidth::W2),
+                    _ => None,
+                };
+                match next_other {
+                    Some(nb) => bits[other] = nb,
+                    None => {
+                        return Err(QuantError::MemoryInfeasible {
+                            pair: (a, b),
+                            needed: bytes(a, &bits) + bytes(b, &bits),
+                            budget: sram_budget,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(QuantizerOutcome {
+        name: "Rusci et al.",
+        weight_bits,
+        assignment: BitwidthAssignment::from_vec(spec, bits),
+        ranges,
+        // Published flow retrains for ~11 epochs after assignment.
+        modeled_search_minutes: 11.0 * time.minutes_per_epoch,
+        measured_search: start.elapsed(),
+    })
+}
+
+fn graph_to_quant(e: GraphError) -> QuantError {
+    match e {
+        GraphError::Tensor(t) => QuantError::Statistics(t),
+        _ => QuantError::MalformedInput { detail: "graph execution failed" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::Shape;
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(16, 3, 1, 1) // fat 16x16x16 map
+            .relu6()
+            .conv2d(16, 3, 2, 1)
+            .global_avg_pool()
+            .dense(4)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 5)
+    }
+
+    fn calib() -> Vec<Tensor> {
+        vec![Tensor::from_fn(Shape::hwc(16, 16, 3), |i| (i as f32 * 0.1).sin())]
+    }
+
+    #[test]
+    fn generous_budgets_keep_8_bit() {
+        let g = graph();
+        let out = run(&g, &calib(), usize::MAX, usize::MAX, &TimeModel::paper()).unwrap();
+        assert!(out.assignment.as_slice().iter().all(|&b| b == Bitwidth::W8));
+        assert_eq!(out.weight_bits, Bitwidth::W8);
+        assert!((out.modeled_search_minutes - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_sram_narrows_the_fat_maps() {
+        let g = graph();
+        // The fat pair is 16x16x3 (768 B) + 16x16x16 (4096 B) = 4864 B at
+        // 8-bit; force narrowing with a 3 KB budget.
+        let out = run(&g, &calib(), 3 * 1024, usize::MAX, &TimeModel::paper()).unwrap();
+        assert!(out.assignment.as_slice().iter().any(|&b| b < Bitwidth::W8));
+        // Every adjacent pair now fits.
+        let spec = g.spec();
+        let elems: Vec<usize> =
+            spec.feature_map_ids().map(|id| spec.feature_map_shape(id).len()).collect();
+        let bits = out.assignment.as_slice();
+        for i in 0..bits.len() - 1 {
+            assert!(bits[i].bytes_for(elems[i]) + bits[i + 1].bytes_for(elems[i + 1]) <= 3 * 1024);
+        }
+    }
+
+    #[test]
+    fn tight_flash_narrows_weights() {
+        let g = graph();
+        let full_flash = cost::flash_bytes(g.spec(), Bitwidth::W8);
+        let out =
+            run(&g, &calib(), usize::MAX, full_flash / 2, &TimeModel::paper()).unwrap();
+        assert!(out.weight_bits < Bitwidth::W8);
+    }
+
+    #[test]
+    fn impossible_sram_is_an_error() {
+        let g = graph();
+        assert!(matches!(
+            run(&g, &calib(), 16, usize::MAX, &TimeModel::paper()),
+            Err(QuantError::MemoryInfeasible { .. })
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Activation-entropy accuracy proxy (Eq. 3–5).
+//!
+//! Training the model at every search step is what makes RL/NAS-based
+//! mixed-precision search slow; VDQS instead scores a bitwidth by how much
+//! *entropy* the quantized feature map retains. The estimate: fake-quantize
+//! the feature map's values to `b` bits, histogram them into `k` uniform
+//! bins over the full-precision range (Eq. 3), and take the Shannon entropy
+//! (Eq. 4). The accuracy impact of quantizing map `i` to `b` bits is the
+//! normalized entropy reduction (Eq. 5).
+
+use quantmcu_tensor::stats::{self, Histogram};
+use quantmcu_tensor::{Bitwidth, QuantParams};
+
+use crate::error::QuantError;
+
+/// Entropy of a feature map's values at full precision, `k` bins.
+///
+/// # Errors
+///
+/// Returns [`QuantError::Statistics`] for an empty sample.
+pub fn full_precision_entropy(values: &[f32], k: usize) -> Result<f64, QuantError> {
+    Ok(Histogram::build(values, k.max(1))?.entropy())
+}
+
+/// `H(i, b)` of Eq. (4): entropy of the feature map after `b`-bit
+/// quantization, measured on the same `k`-bin support as the
+/// full-precision histogram so the two are comparable.
+///
+/// # Errors
+///
+/// Returns [`QuantError::Statistics`] for an empty sample.
+pub fn quantized_entropy(values: &[f32], b: Bitwidth, k: usize) -> Result<f64, QuantError> {
+    let m = stats::moments(values)?;
+    let params = QuantParams::from_min_max(m.min, m.max, b)?;
+    let quantized: Vec<f32> =
+        values.iter().map(|&v| params.dequantize(params.quantize(v))).collect();
+    Ok(Histogram::build_in_range(&quantized, k.max(1), m.min, m.max).entropy())
+}
+
+/// `ΔH(i, b)` of Eq. (5): the entropy lost by quantizing to `b` bits,
+/// clamped at zero (binning noise can make the quantized estimate a hair
+/// larger on tiny samples).
+///
+/// # Errors
+///
+/// Returns [`QuantError::Statistics`] for an empty sample.
+pub fn entropy_reduction(values: &[f32], b: Bitwidth, k: usize) -> Result<f64, QuantError> {
+    let h_full = full_precision_entropy(values, k)?;
+    let h_q = quantized_entropy(values, b, k)?;
+    Ok((h_full - h_q).max(0.0))
+}
+
+/// The per-feature-map entropy table a VDQS run needs: `H` at full
+/// precision and `ΔH` per candidate bitwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyTable {
+    /// Full-precision entropy per feature map.
+    pub full: Vec<f64>,
+    /// `reductions[i][j]` = ΔH of feature map `i` at candidate `j`.
+    pub reductions: Vec<Vec<f64>>,
+}
+
+/// Builds the table for a branch: `fm_values[i]` holds the sampled values
+/// of feature map `i`.
+///
+/// # Errors
+///
+/// Returns [`QuantError::Statistics`] when any feature map's sample is
+/// empty.
+pub fn build_table(
+    fm_values: &[Vec<f32>],
+    candidates: &[Bitwidth],
+    k: usize,
+) -> Result<EntropyTable, QuantError> {
+    let mut full = Vec::with_capacity(fm_values.len());
+    let mut reductions = Vec::with_capacity(fm_values.len());
+    for values in fm_values {
+        full.push(full_precision_entropy(values, k)?);
+        let row = candidates
+            .iter()
+            .map(|&b| entropy_reduction(values, b, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        reductions.push(row);
+    }
+    Ok(EntropyTable { full, reductions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_signal() -> Vec<f32> {
+        (0..8192).map(|i| ((i as f32) * 0.01).sin() * 3.0 + ((i as f32) * 0.003).cos()).collect()
+    }
+
+    #[test]
+    fn lower_bits_lose_more_entropy() {
+        let v = rich_signal();
+        let d8 = entropy_reduction(&v, Bitwidth::W8, 2048).unwrap();
+        let d4 = entropy_reduction(&v, Bitwidth::W4, 2048).unwrap();
+        let d2 = entropy_reduction(&v, Bitwidth::W2, 2048).unwrap();
+        assert!(d2 > d4, "2-bit ΔH {d2} must exceed 4-bit {d4}");
+        assert!(d4 > d8, "4-bit ΔH {d4} must exceed 8-bit {d8}");
+    }
+
+    #[test]
+    fn reduction_is_nonnegative_and_bounded() {
+        let v = rich_signal();
+        let h = full_precision_entropy(&v, 2048).unwrap();
+        for b in Bitwidth::SEARCH_CANDIDATES {
+            let d = entropy_reduction(&v, b, 2048).unwrap();
+            assert!(d >= 0.0);
+            assert!(d <= h + 1e-9, "{b}: ΔH {d} exceeds H {h}");
+        }
+    }
+
+    #[test]
+    fn two_bit_map_has_at_most_four_levels_of_entropy() {
+        let v = rich_signal();
+        let h2 = quantized_entropy(&v, Bitwidth::W2, 2048).unwrap();
+        assert!(h2 <= 4f64.ln() + 1e-9, "2-bit entropy {h2} exceeds ln 4");
+    }
+
+    #[test]
+    fn table_shapes_match_inputs() {
+        let fms = vec![rich_signal(), rich_signal().iter().map(|v| v * 0.5).collect()];
+        let t = build_table(&fms, &Bitwidth::SEARCH_CANDIDATES, 512).unwrap();
+        assert_eq!(t.full.len(), 2);
+        assert_eq!(t.reductions.len(), 2);
+        assert_eq!(t.reductions[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_feature_map_is_an_error() {
+        assert!(build_table(&[Vec::new()], &Bitwidth::SEARCH_CANDIDATES, 512).is_err());
+    }
+}

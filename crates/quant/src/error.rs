@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the quantization toolkit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// Even the narrowest candidate bitwidths cannot satisfy the adjacent
+    /// pair memory constraint (Eq. 7). The paper's Algorithm 1 would loop
+    /// forever in this case; the reproduction surfaces it.
+    MemoryInfeasible {
+        /// The first adjacent pair `(i, i+1)` that cannot fit.
+        pair: (usize, usize),
+        /// Bytes that pair needs at the narrowest candidates.
+        needed: usize,
+        /// The memory budget `M`.
+        budget: usize,
+    },
+    /// An input table is malformed (empty candidate set, mismatched
+    /// lengths).
+    MalformedInput {
+        /// Human-readable reason.
+        detail: &'static str,
+    },
+    /// A statistic could not be computed (e.g. empty feature map).
+    Statistics(quantmcu_tensor::TensorError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::MemoryInfeasible { pair, needed, budget } => write!(
+                f,
+                "feature maps {} and {} need {needed} bytes even at the narrowest bitwidths, over the {budget}-byte budget",
+                pair.0, pair.1
+            ),
+            QuantError::MalformedInput { detail } => write!(f, "malformed input: {detail}"),
+            QuantError::Statistics(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Statistics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<quantmcu_tensor::TensorError> for QuantError {
+    fn from(e: quantmcu_tensor::TensorError) -> Self {
+        QuantError::Statistics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuantError::MemoryInfeasible { pair: (3, 4), needed: 9000, budget: 4096 };
+        let msg = e.to_string();
+        assert!(msg.contains("9000") && msg.contains("4096"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Value-driven mixed-precision quantization — the paper's core algorithms.
+//!
+//! * [`vdpc`] — **Value-Driven Patch Classification** (§III-A, Eq. 1):
+//!   fits a Gaussian to the stage output's activation distribution and
+//!   classifies each patch by whether it contains outlier values. Outlier
+//!   patches keep 8-bit precision on their dataflow branches; non-outlier
+//!   patches proceed to the VDQS search.
+//! * [`entropy`] — the activation-entropy accuracy proxy (Eq. 3–5).
+//! * [`score`] — the quantization score `S(i,b) = −λΩ(i,b) + (1−λ)Φ(i,b)`
+//!   (Eq. 2, 6).
+//! * [`vdqs`] — **Value-Driven Quantization Search**: Algorithm 1's
+//!   score-greedy initialization plus the two-direction iterative repair
+//!   that enforces the adjacent-pair memory constraint (Eq. 7).
+//! * [`baselines`] — the quantizers of Table II: PACT, memory-driven
+//!   mixed precision (Rusci et al.), HAQ (RL-style policy search) and
+//!   HAWQ-V3 (sensitivity-ordered assignment), all with a shared
+//!   search-time model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod config;
+pub mod entropy;
+mod error;
+pub mod score;
+pub mod vdpc;
+pub mod vdqs;
+
+pub use config::{VdpcConfig, VdqsConfig};
+pub use error::QuantError;

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the tensor substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A shape's element count does not match the provided buffer length.
+    ShapeMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// A spatial region extends outside the tensor it is applied to.
+    RegionOutOfBounds {
+        /// The offending region, formatted as `(y, x, h, w)`.
+        region: (usize, usize, usize, usize),
+        /// The tensor's spatial extent, formatted as `(h, w)`.
+        bounds: (usize, usize),
+    },
+    /// A bitwidth that the substrate does not support.
+    UnsupportedBitwidth(u32),
+    /// An operation that requires a non-empty tensor received an empty one.
+    EmptyTensor,
+    /// A quantization scale that is zero, negative, or non-finite.
+    InvalidScale(f32),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape expects {expected} elements but buffer has {actual}")
+            }
+            TensorError::RegionOutOfBounds { region, bounds } => write!(
+                f,
+                "region (y={}, x={}, h={}, w={}) exceeds spatial bounds {}x{}",
+                region.0, region.1, region.2, region.3, bounds.0, bounds.1
+            ),
+            TensorError::UnsupportedBitwidth(bits) => {
+                write!(f, "unsupported bitwidth: {bits} bits")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+            TensorError::InvalidScale(s) => write!(f, "invalid quantization scale: {s}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            TensorError::ShapeMismatch { expected: 4, actual: 3 },
+            TensorError::RegionOutOfBounds { region: (0, 0, 5, 5), bounds: (4, 4) },
+            TensorError::UnsupportedBitwidth(3),
+            TensorError::EmptyTensor,
+            TensorError::InvalidScale(0.0),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

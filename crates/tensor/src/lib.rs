@@ -1,0 +1,46 @@
+//! Tensor substrate for the QuantMCU reproduction.
+//!
+//! This crate provides the numeric foundation used by every other crate in
+//! the workspace:
+//!
+//! * [`Shape`] / [`Region`] — NHWC shapes and spatial crops (patches).
+//! * [`Tensor`] — a dense `f32` NHWC tensor.
+//! * [`Bitwidth`] — the quantization bitwidths supported by the paper
+//!   (8/4/2-bit activations, plus 16/32 for accounting).
+//! * [`QuantParams`] / [`QTensor`] — affine quantization parameters and
+//!   quantized tensors with sub-byte-aware memory accounting.
+//! * [`pack`] — CMix-NN-style sub-byte packing (two 4-bit or four 2-bit
+//!   values per byte).
+//! * [`stats`] — histograms, empirical entropy, Gaussian fitting and the
+//!   probit function used by value-driven patch classification.
+//!
+//! # Example
+//!
+//! ```
+//! use quantmcu_tensor::{Bitwidth, QuantParams, Shape, Tensor};
+//!
+//! let t = Tensor::from_fn(Shape::new(1, 2, 2, 1), |i| i as f32 - 1.5);
+//! let params = QuantParams::from_tensor(&t, Bitwidth::W8);
+//! let q = params.quantize_tensor(&t);
+//! let back = q.dequantize();
+//! assert!((back.data()[0] - t.data()[0]).abs() < params.scale());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitwidth;
+mod error;
+pub mod pack;
+mod qtensor;
+mod quantize;
+mod shape;
+pub mod stats;
+mod tensor;
+
+pub use bitwidth::Bitwidth;
+pub use error::TensorError;
+pub use qtensor::QTensor;
+pub use quantize::{ChannelQuantParams, QuantParams};
+pub use shape::{Region, Shape};
+pub use tensor::Tensor;

@@ -1,0 +1,131 @@
+//! Sub-byte packing in the CMix-NN layout.
+//!
+//! CMix-NN stores 4-bit values two per byte (low nibble first) and 2-bit
+//! values four per byte (lowest crumb first), all in two's complement. The
+//! packed form is what occupies SRAM on the device; kernels unpack to `i8`
+//! registers before multiply-accumulate. These functions model exactly that
+//! boundary.
+
+use crate::bitwidth::Bitwidth;
+
+/// Packs `i8` working values into the sub-byte deployed layout.
+///
+/// For `W8` (or wider) this is a plain two's-complement byte copy.
+/// Values are masked to the bitwidth, so out-of-range inputs wrap; callers
+/// quantize (and therefore clamp) before packing.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_tensor::{pack, Bitwidth};
+///
+/// let packed = pack::pack(&[1, -2, 0], Bitwidth::W4);
+/// assert_eq!(packed.len(), 2);
+/// assert_eq!(pack::unpack(&packed, Bitwidth::W4, 3), vec![1, -2, 0]);
+/// ```
+pub fn pack(values: &[i8], bitwidth: Bitwidth) -> Vec<u8> {
+    let bits = bitwidth.bits().min(8) as usize;
+    if bits == 8 {
+        return values.iter().map(|&v| v as u8).collect();
+    }
+    let per_byte = 8 / bits;
+    let mask = (1u8 << bits) - 1;
+    let mut out = vec![0u8; bitwidth.bytes_for(values.len())];
+    for (i, &v) in values.iter().enumerate() {
+        let byte = i / per_byte;
+        let slot = i % per_byte;
+        out[byte] |= ((v as u8) & mask) << (slot * bits);
+    }
+    out
+}
+
+/// Unpacks `len` values from the sub-byte layout back to `i8` working
+/// storage, sign-extending each field.
+///
+/// # Panics
+///
+/// Panics when `bytes` is shorter than `bitwidth.bytes_for(len)`.
+pub fn unpack(bytes: &[u8], bitwidth: Bitwidth, len: usize) -> Vec<i8> {
+    let bits = bitwidth.bits().min(8) as usize;
+    assert!(
+        bytes.len() >= bitwidth.bytes_for(len),
+        "packed buffer too short: {} bytes for {len} values at {bitwidth}",
+        bytes.len()
+    );
+    if bits == 8 {
+        return bytes[..len].iter().map(|&b| b as i8).collect();
+    }
+    let per_byte = 8 / bits;
+    let mask = (1u8 << bits) - 1;
+    (0..len)
+        .map(|i| {
+            let field = (bytes[i / per_byte] >> ((i % per_byte) * bits)) & mask;
+            sign_extend(field, bits)
+        })
+        .collect()
+}
+
+/// Sign-extends a `bits`-wide two's-complement field to `i8`.
+#[inline]
+fn sign_extend(field: u8, bits: usize) -> i8 {
+    let shift = 8 - bits;
+    ((field << shift) as i8) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0b0001, 4), 1);
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0b01, 2), 1);
+        assert_eq!(sign_extend(0b10, 2), -2);
+        assert_eq!(sign_extend(0b11, 2), -1);
+    }
+
+    #[test]
+    fn w4_roundtrip_full_range() {
+        let values: Vec<i8> = (-8..=7).collect();
+        let packed = pack(&values, Bitwidth::W4);
+        assert_eq!(packed.len(), 8);
+        assert_eq!(unpack(&packed, Bitwidth::W4, values.len()), values);
+    }
+
+    #[test]
+    fn w2_roundtrip_full_range() {
+        let values: Vec<i8> = vec![-2, -1, 0, 1, 1, 0, -1, -2, 1];
+        let packed = pack(&values, Bitwidth::W2);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack(&packed, Bitwidth::W2, values.len()), values);
+    }
+
+    #[test]
+    fn w8_is_identity() {
+        let values: Vec<i8> = vec![-128, -1, 0, 1, 127];
+        let packed = pack(&values, Bitwidth::W8);
+        assert_eq!(unpack(&packed, Bitwidth::W8, values.len()), values);
+    }
+
+    #[test]
+    fn odd_lengths_pad_final_byte() {
+        let values: Vec<i8> = vec![3, -4, 5];
+        let packed = pack(&values, Bitwidth::W4);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack(&packed, Bitwidth::W4, 3), values);
+    }
+
+    #[test]
+    fn low_nibble_first_layout() {
+        // 1 -> 0b0001 in low nibble, 2 -> 0b0010 in high nibble.
+        assert_eq!(pack(&[1, 2], Bitwidth::W4), vec![0x21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed buffer too short")]
+    fn unpack_checks_length() {
+        unpack(&[0u8], Bitwidth::W8, 2);
+    }
+}

@@ -1,0 +1,137 @@
+use crate::bitwidth::Bitwidth;
+use crate::pack;
+use crate::quantize::QuantParams;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A quantized NHWC tensor.
+///
+/// Values are held as `i8` working storage regardless of logical bitwidth
+/// (exactly how CMix-NN computes: sub-byte values are unpacked to bytes at
+/// the kernel boundary). [`QTensor::memory_bytes`] reports the *deployed*
+/// footprint, i.e. the packed sub-byte size that determines SRAM usage on
+/// the MCU.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_tensor::{Bitwidth, QuantParams, Shape, Tensor};
+///
+/// let t = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32 / 4.0);
+/// let q = QuantParams::from_tensor(&t, Bitwidth::W4).quantize_tensor(&t);
+/// assert_eq!(q.memory_bytes(), 8); // 16 values at 4 bits
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    shape: Shape,
+    data: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QTensor {
+    /// Assembles a quantized tensor from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match `shape.len()`.
+    pub fn from_parts(shape: Shape, data: Vec<i8>, params: QuantParams) -> Self {
+        assert_eq!(data.len(), shape.len(), "quantized buffer must match shape");
+        QTensor { shape, data, params }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The quantization parameters the values were produced with.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// The logical bitwidth of the stored values.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.params.bitwidth()
+    }
+
+    /// Unpacked working values (one `i8` per element).
+    pub fn values(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Deployed memory footprint in bytes, with sub-byte packing applied.
+    pub fn memory_bytes(&self) -> usize {
+        self.bitwidth().bytes_for(self.data.len())
+    }
+
+    /// Serializes the values into the packed CMix-NN byte layout.
+    pub fn to_packed(&self) -> Vec<u8> {
+        pack::pack(&self.data, self.bitwidth())
+    }
+
+    /// Reconstructs a quantized tensor from the packed byte layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is shorter than the packed size for `shape` at
+    /// `params.bitwidth()`.
+    pub fn from_packed(shape: Shape, bytes: &[u8], params: QuantParams) -> Self {
+        let data = pack::unpack(bytes, params.bitwidth(), shape.len());
+        QTensor::from_parts(shape, data, params)
+    }
+
+    /// Recovers the real-valued tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_fn(self.shape, |i| self.params.dequantize(self.data[i] as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bitwidth: Bitwidth) -> (Tensor, QTensor) {
+        let t = Tensor::from_fn(Shape::hwc(3, 5, 2), |i| ((i * 7 % 13) as f32 - 6.0) * 0.5);
+        let q = QuantParams::from_tensor(&t, bitwidth).quantize_tensor(&t);
+        (t, q)
+    }
+
+    #[test]
+    fn memory_accounts_for_packing() {
+        let (_, q8) = sample(Bitwidth::W8);
+        let (_, q4) = sample(Bitwidth::W4);
+        let (_, q2) = sample(Bitwidth::W2);
+        assert_eq!(q8.memory_bytes(), 30);
+        assert_eq!(q4.memory_bytes(), 15);
+        assert_eq!(q2.memory_bytes(), 8); // ceil(30 / 4)
+    }
+
+    #[test]
+    fn packed_roundtrip_preserves_values() {
+        for b in Bitwidth::SEARCH_CANDIDATES {
+            let (_, q) = sample(b);
+            let packed = q.to_packed();
+            assert_eq!(packed.len(), q.memory_bytes());
+            let back = QTensor::from_packed(q.shape(), &packed, q.params());
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn dequantize_error_bounded() {
+        for b in Bitwidth::SEARCH_CANDIDATES {
+            let (t, q) = sample(b);
+            let err = t.mean_abs_diff(&q.dequantize());
+            assert!(err <= q.params().scale(), "{b}: mean err {err}");
+        }
+    }
+
+    #[test]
+    fn lower_bitwidth_never_more_accurate() {
+        let (t, q8) = sample(Bitwidth::W8);
+        let (_, q2) = sample(Bitwidth::W2);
+        assert!(
+            t.mean_abs_diff(&q8.dequantize()) <= t.mean_abs_diff(&q2.dequantize()) + 1e-6
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Bitwidth explorer: inspect how the VDQS score responds to λ and how
+//! the memory constraint (Eq. 7) repairs an assignment — the internals of
+//! Algorithm 1 made visible.
+//!
+//! ```text
+//! cargo run --release -p quantmcu-examples --bin bitwidth_explorer
+//! ```
+
+use quantmcu::data::classification::ClassificationDataset;
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::nn::exec::FloatExecutor;
+use quantmcu::nn::{cost, init, FeatureMapId};
+use quantmcu::quant::score::ScoreTable;
+use quantmcu::quant::{entropy, vdqs, VdqsConfig};
+use quantmcu::tensor::Bitwidth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Model::McuNet.spec(ModelConfig::exec_scale())?;
+    let graph = init::with_structured_weights(spec.clone(), 5);
+    let calib = ClassificationDataset::new(32, 10, 5).images(6);
+
+    // Collect per-feature-map values from the float trace.
+    let exec = FloatExecutor::new(&graph);
+    let mut fm_values: Vec<Vec<f32>> = vec![Vec::new(); spec.feature_map_count()];
+    for input in &calib {
+        for (fm, t) in exec.run_trace(input)?.into_iter().enumerate() {
+            fm_values[fm].extend_from_slice(t.data());
+        }
+    }
+    let elems: Vec<usize> =
+        spec.feature_map_ids().map(|id| spec.feature_map_shape(id).len()).collect();
+    let reference = cost::total_bitops(
+        &spec,
+        Bitwidth::W8,
+        &cost::BitwidthAssignment::uniform(&spec, Bitwidth::W8),
+    );
+
+    println!("VDQS over MCUNet ({} feature maps)\n", spec.feature_map_count());
+    println!("lambda | mean bits | repair rounds | BitOPs (M)");
+    for lambda in [0.2, 0.4, 0.6, 0.8] {
+        let cfg = VdqsConfig::with_lambda(lambda);
+        let et = entropy::build_table(&fm_values, &cfg.candidates, cfg.hist_bins)?;
+        let table = ScoreTable::build(
+            &et,
+            |i, b| cost::bitops_reduction(&spec, FeatureMapId(i), b, Bitwidth::W8),
+            reference.max(1),
+            &cfg,
+        )?;
+        let outcome = vdqs::determine_with_elem_counts(&table, &elems, 12 * 1024)?;
+        let mean: f64 = outcome.bitwidths.iter().map(|b| b.bits() as f64).sum::<f64>()
+            / outcome.bitwidths.len() as f64;
+        let assignment = cost::BitwidthAssignment::from_vec(&spec, outcome.bitwidths.clone());
+        println!(
+            "  {lambda:.1}  |   {mean:.2}    |      {}        | {:.1}",
+            outcome.repair_rounds,
+            cost::total_bitops(&spec, Bitwidth::W8, &assignment) as f64 / 1e6
+        );
+    }
+
+    // Show Eq. 7's repair in action: shrink the budget until it bites.
+    println!("\nEq. (7) repair under shrinking SRAM budgets (lambda = 0.6):");
+    let cfg = VdqsConfig::paper();
+    let et = entropy::build_table(&fm_values, &cfg.candidates, cfg.hist_bins)?;
+    let table = ScoreTable::build(
+        &et,
+        |i, b| cost::bitops_reduction(&spec, FeatureMapId(i), b, Bitwidth::W8),
+        reference.max(1),
+        &cfg,
+    )?;
+    for budget_kb in [64usize, 16, 8, 4, 2] {
+        match vdqs::determine_with_elem_counts(&table, &elems, budget_kb * 1024) {
+            Ok(outcome) => {
+                let mean: f64 = outcome.bitwidths.iter().map(|b| b.bits() as f64).sum::<f64>()
+                    / outcome.bitwidths.len() as f64;
+                println!(
+                    "  {budget_kb:>3} KB: mean bits {mean:.2}, {} repair rounds",
+                    outcome.repair_rounds
+                );
+            }
+            Err(e) => println!("  {budget_kb:>3} KB: {e}"),
+        }
+    }
+    Ok(())
+}

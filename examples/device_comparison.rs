@@ -1,0 +1,69 @@
+//! Device comparison: how one model deploys across the paper's two MCU
+//! platforms — fit checks, latency and the schedule each device forces.
+//!
+//! ```text
+//! cargo run --release -p quantmcu-examples --bin device_comparison
+//! ```
+
+use quantmcu::data::classification::ClassificationDataset;
+use quantmcu::mcusim::{sram::FitReport, Device, LatencyModel};
+use quantmcu::models::Model;
+use quantmcu::nn::cost::{self, BitwidthAssignment};
+use quantmcu::nn::init;
+use quantmcu::patch::baselines::mcunetv2;
+use quantmcu::tensor::Bitwidth;
+use quantmcu::{Planner, QuantMcuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for device in Device::table1_platforms() {
+        println!("\n== {device} ==");
+        let cfg = Model::MobileNetV2.mcu_scale(device.sram_bytes / 1024, 1000);
+        let spec = Model::MobileNetV2.spec(cfg)?;
+        println!(
+            "MobileNetV2 at {}x{}, width {:.2}: {:.1} M MACs, {:.1} KB flash",
+            cfg.resolution,
+            cfg.resolution,
+            cfg.width_mult,
+            cost::total_macs(&spec) as f64 / 1e6,
+            cost::flash_bytes(&spec, Bitwidth::W8) as f64 / 1024.0
+        );
+
+        // Does plain layer-based int8 fit?
+        let fit = FitReport::layer_based(&device, &spec, Bitwidth::W8, Bitwidth::W8);
+        println!(
+            "layer-based int8: peak {:.1} KB vs {:.0} KB SRAM → {}",
+            fit.peak_sram_bytes as f64 / 1024.0,
+            fit.sram_budget as f64 / 1024.0,
+            if fit.sram_fits() { "fits" } else { "DOES NOT FIT (patching required)" }
+        );
+
+        // The schedule MCUNetV2 picks and what it costs.
+        let latency = LatencyModel::new(device);
+        let layer_lat = latency.layer_based(
+            &spec,
+            &BitwidthAssignment::uniform(&spec, Bitwidth::W8),
+            Bitwidth::W8,
+        );
+        let sched = mcunetv2::schedule(&spec, device.sram_bytes)?;
+        println!(
+            "MCUNetV2 schedule: split at node {}, {}x{} patches, peak {:.1} KB",
+            sched.plan.split_at(),
+            sched.plan.rows(),
+            sched.plan.cols(),
+            sched.cost.peak_memory_bytes as f64 / 1024.0
+        );
+
+        // QuantMCU on the same budget.
+        let graph = init::with_structured_weights(spec, 1);
+        let calib = ClassificationDataset::new(cfg.resolution, 10, 1).images(2);
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&graph, &calib, device.sram_bytes)?;
+        println!(
+            "QuantMCU: peak {:.1} KB, BitOPs {:.1} M, latency {:.0} ms (layer-based {:.0} ms)",
+            plan.peak_memory_bytes()? as f64 / 1024.0,
+            plan.bitops() as f64 / 1e6,
+            plan.latency(&device)?.as_secs_f64() * 1e3,
+            layer_lat.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}

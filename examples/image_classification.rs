@@ -1,0 +1,55 @@
+//! Image classification end to end: accuracy of the float model, an 8-bit
+//! patch deployment (MCUNetV2 style) and the QuantMCU deployment on the
+//! synthetic ImageNet proxy — the workload behind Fig. 4a.
+//!
+//! ```text
+//! cargo run --release -p quantmcu-examples --bin image_classification
+//! ```
+
+use quantmcu::data::classification::ClassificationDataset;
+use quantmcu::data::metrics::{agreement_top1, top_k_accuracy};
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::nn::exec::FloatExecutor;
+use quantmcu::nn::init;
+use quantmcu::tensor::{Bitwidth, Tensor};
+use quantmcu::{Deployment, Planner, QuantMcuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+    let graph = init::with_structured_weights(spec, 2024);
+    let dataset = ClassificationDataset::new(32, 10, 2024);
+    let calibration = dataset.images(8);
+    let eval: Vec<(Tensor, usize)> = (50..98).map(|i| dataset.sample(i)).collect();
+    let images: Vec<Tensor> = eval.iter().map(|(t, _)| t.clone()).collect();
+    let labels: Vec<usize> = eval.iter().map(|(_, l)| *l).collect();
+
+    // Float reference.
+    let float_exec = FloatExecutor::new(&graph);
+    let float_out: Vec<Tensor> =
+        images.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
+    println!(
+        "float model:   top-1 (self-consistency vs labels) = {:.1}%",
+        top_k_accuracy(&float_out, &labels, 1) * 100.0
+    );
+
+    let planner = Planner::new(QuantMcuConfig::paper());
+
+    // MCUNetV2-style uniform 8-bit patch deployment.
+    let plan8 = planner.plan_uniform(&graph, &calibration, Bitwidth::W8, 16 * 1024)?;
+    let dep8 = Deployment::new(&graph, plan8)?;
+    let out8 = dep8.run_batch(&images)?;
+    println!("8-bit patches: agreement with float = {:.1}%", agreement_top1(&float_out, &out8) * 100.0);
+
+    // QuantMCU mixed precision.
+    let plan = planner.plan(&graph, &calibration, 16 * 1024)?;
+    println!(
+        "QuantMCU:      mean branch bits {:.2}, BitOPs {:.1} M vs {:.1} M at 8-bit",
+        plan.mean_branch_bits(),
+        plan.bitops() as f64 / 1e6,
+        plan.baseline_patch_bitops() as f64 / 1e6
+    );
+    let dep = Deployment::new(&graph, plan)?;
+    let out = dep.run_batch(&images)?;
+    println!("QuantMCU:      agreement with float = {:.1}%", agreement_top1(&float_out, &out) * 100.0);
+    Ok(())
+}

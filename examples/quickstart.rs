@@ -1,0 +1,42 @@
+//! Quickstart: plan and run a QuantMCU deployment in ~30 lines.
+//!
+//! ```text
+//! cargo run --release -p quantmcu-examples --bin quickstart
+//! ```
+
+use quantmcu::data::classification::ClassificationDataset;
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::nn::init;
+use quantmcu::{Deployment, Planner, QuantMcuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A network (MobileNetV2 at laptop-runnable scale) with weights.
+    let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+    let graph = init::with_structured_weights(spec, 42);
+
+    // 2. A calibration set (synthetic ImageNet proxy).
+    let dataset = ClassificationDataset::new(32, 10, 7);
+    let calibration = dataset.images(8);
+
+    // 3. Plan: patch split → VDPC → per-branch VDQS, against 16 KB SRAM.
+    let plan = Planner::new(QuantMcuConfig::paper()).plan(&graph, &calibration, 16 * 1024)?;
+    println!(
+        "plan: {} branches, {} outlier-class, mean branch bits {:.2}",
+        plan.patch_plan().branch_count(),
+        plan.outlier_patch_count(),
+        plan.mean_branch_bits()
+    );
+    println!(
+        "BitOPs {:.1} M (8-bit patch baseline {:.1} M), peak memory {:.1} KB",
+        plan.bitops() as f64 / 1e6,
+        plan.baseline_patch_bitops() as f64 / 1e6,
+        plan.peak_memory_bytes()? as f64 / 1024.0
+    );
+
+    // 4. Run the quantized deployment on a fresh image.
+    let (image, label) = dataset.sample(100);
+    let deployment = Deployment::new(&graph, plan)?;
+    let output = deployment.run(&image)?;
+    println!("label {label}, predicted class {:?}", output.argmax(0));
+    Ok(())
+}

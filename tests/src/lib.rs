@@ -1,0 +1,30 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use quantmcu::data::classification::ClassificationDataset;
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::nn::{init, Graph};
+use quantmcu::tensor::Tensor;
+
+/// Seed shared by all integration fixtures.
+pub const SEED: u64 = 77;
+
+/// An exec-scale model with structured weights.
+pub fn graph(model: Model) -> Graph {
+    let spec = model.spec(ModelConfig::exec_scale()).expect("exec-scale build");
+    init::with_structured_weights(spec, SEED)
+}
+
+/// The shared synthetic dataset.
+pub fn dataset() -> ClassificationDataset {
+    ClassificationDataset::new(32, 10, SEED)
+}
+
+/// `n` calibration images.
+pub fn calib(n: usize) -> Vec<Tensor> {
+    dataset().images(n)
+}
+
+/// `n` evaluation images disjoint from any calibration prefix.
+pub fn eval(n: usize) -> Vec<Tensor> {
+    (1000..1000 + n).map(|i| dataset().sample(i).0).collect()
+}

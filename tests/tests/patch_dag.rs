@@ -1,0 +1,119 @@
+//! Integration tests for DAG-shaped patch stages: the engine must stay
+//! bit-exact when residual adds and fire-style concats sit inside the
+//! per-patch stage, and the cost models must stay consistent with the
+//! numeric engine on those graphs.
+
+use quantmcu::mcusim::{Device, LatencyModel};
+use quantmcu::nn::cost::BitwidthAssignment;
+use quantmcu::nn::exec::FloatExecutor;
+use quantmcu::nn::{init, Graph, GraphSpecBuilder};
+use quantmcu::patch::{redundancy, PatchExecutor, PatchPlan};
+use quantmcu::tensor::{Bitwidth, Shape, Tensor};
+
+fn input(shape: Shape, seed: u64) -> Tensor {
+    Tensor::from_fn(shape, |i| (((i as u64).wrapping_mul(seed + 3) % 997) as f32 * 0.011).sin())
+}
+
+/// A graph whose patchable prefix contains a residual add.
+fn residual_graph() -> Graph {
+    let spec = {
+        let b = GraphSpecBuilder::new(Shape::hwc(16, 16, 6));
+        let entry = b.mark();
+        b.conv2d(6, 3, 1, 1)
+            .relu6()
+            .conv2d(6, 3, 1, 1)
+            .add_from(entry)
+            .conv2d(12, 3, 2, 1)
+            .global_avg_pool()
+            .dense(4)
+            .build()
+            .unwrap()
+    };
+    init::with_structured_weights(spec, 17)
+}
+
+/// A graph whose patchable prefix contains a fire-style concat.
+fn concat_graph() -> Graph {
+    let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 8))
+        .fire(4, 6, 6)
+        .conv2d(12, 3, 2, 1)
+        .global_avg_pool()
+        .dense(4)
+        .build()
+        .unwrap();
+    init::with_structured_weights(spec, 23)
+}
+
+#[test]
+fn residual_head_patching_is_exact() {
+    let g = residual_graph();
+    // Split after the strided conv: head = conv,relu6,conv,add,conv.
+    let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
+    let x = input(Shape::hwc(16, 16, 6), 1);
+    let patched = pe.run(&x).unwrap();
+    let full = FloatExecutor::new(&g).run(&x).unwrap();
+    assert!(
+        patched.final_output.mean_abs_diff(&full) < 1e-4,
+        "residual-head patching diverged: {}",
+        patched.final_output.mean_abs_diff(&full)
+    );
+}
+
+#[test]
+fn concat_head_patching_is_exact() {
+    let g = concat_graph();
+    // Head covers the whole fire module (6 nodes) plus the strided conv.
+    let split = quantmcu::patch::largest_straight_prefix(g.spec());
+    assert!(split >= 7, "fire module should be patchable, prefix = {split}");
+    let plan = PatchPlan::new(g.spec(), split, 3, 3).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
+    let x = input(Shape::hwc(16, 16, 8), 2);
+    let patched = pe.run(&x).unwrap();
+    let full = FloatExecutor::new(&g).run(&x).unwrap();
+    assert!(patched.final_output.mean_abs_diff(&full) < 1e-4);
+}
+
+#[test]
+fn residual_head_redundancy_counts_both_paths() {
+    let g = residual_graph();
+    let plan = PatchPlan::new(g.spec(), 4, 2, 2).unwrap();
+    let report = redundancy::analyze(g.spec(), &plan).unwrap();
+    // Two 3x3 convs in the head; halos must cost something at 2x2.
+    assert!(report.redundant_macs() > 0);
+    assert!(report.overhead_ratio() > 1.0 && report.overhead_ratio() < 2.0);
+}
+
+#[test]
+fn latency_model_is_monotone_in_bits_on_dag_heads() {
+    let g = residual_graph();
+    let spec = g.spec();
+    let plan = PatchPlan::new(spec, 5, 2, 2).unwrap();
+    let (head, tail) = spec.split_at(5).unwrap();
+    let model = LatencyModel::new(Device::nano33_ble_sense());
+    let lat = |b: Bitwidth| {
+        let bb = vec![vec![b; head.len() + 1]; plan.branch_count()];
+        let tb = vec![b; tail.feature_map_count()];
+        model.patch_based(spec, &plan, &bb, &tb, Bitwidth::W8).unwrap()
+    };
+    assert!(lat(Bitwidth::W2) < lat(Bitwidth::W4));
+    assert!(lat(Bitwidth::W4) < lat(Bitwidth::W8));
+}
+
+#[test]
+fn layer_latency_scales_with_clock_and_assignment() {
+    let g = concat_graph();
+    let spec = g.spec();
+    let model = LatencyModel::new(Device::nano33_ble_sense());
+    let t8 = model.layer_based(
+        spec,
+        &BitwidthAssignment::uniform(spec, Bitwidth::W8),
+        Bitwidth::W8,
+    );
+    let t4 = model.layer_based(
+        spec,
+        &BitwidthAssignment::uniform(spec, Bitwidth::W4),
+        Bitwidth::W8,
+    );
+    assert!(t4 < t8, "4-bit activations must be faster: {t4:?} vs {t8:?}");
+}

@@ -1,0 +1,111 @@
+//! Property tests for the quantization search: invariants of Algorithm 1
+//! and the score/entropy machinery under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use quantmcu::quant::score::ScoreTable;
+use quantmcu::quant::{entropy, vdqs, VdqsConfig};
+use quantmcu::tensor::Bitwidth;
+
+/// Builds a score table over `n` synthetic feature maps with per-map MAC
+/// weights drawn by the strategy.
+fn table_for(macs: &[u64], lambda: f64) -> ScoreTable {
+    let n = macs.len();
+    let fms: Vec<Vec<f32>> = (0..n)
+        .map(|f| (0..512).map(|i| ((i * (f + 3)) as f32 * 0.021).sin() * 1.7).collect())
+        .collect();
+    let et = entropy::build_table(&fms, &Bitwidth::SEARCH_CANDIDATES, 64).expect("entropy");
+    let total: u64 = macs.iter().sum::<u64>().max(1) * 64;
+    let macs = macs.to_vec();
+    ScoreTable::build(
+        &et,
+        move |i, b| macs[i] * 8 * (8 - b.bits().min(8)) as u64,
+        total,
+        &VdqsConfig::with_lambda(lambda),
+    )
+    .expect("table")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// When Algorithm 1 succeeds, every adjacent pair satisfies Eq. (7)
+    /// and every chosen bitwidth comes from the candidate set.
+    #[test]
+    fn successful_search_satisfies_eq7(
+        macs in prop::collection::vec(1u64..10_000, 2..10),
+        elems in prop::collection::vec(64usize..8192, 2..10),
+        budget in 256usize..32_768,
+        lambda in 0.1f64..0.9,
+    ) {
+        prop_assume!(macs.len() == elems.len());
+        let table = table_for(&macs, lambda);
+        match vdqs::determine_with_elem_counts(&table, &elems, budget) {
+            Ok(outcome) => {
+                prop_assert_eq!(outcome.bitwidths.len(), elems.len());
+                for b in &outcome.bitwidths {
+                    prop_assert!(Bitwidth::SEARCH_CANDIDATES.contains(b));
+                }
+                for i in 0..elems.len() - 1 {
+                    let used = outcome.bitwidths[i].bytes_for(elems[i])
+                        + outcome.bitwidths[i + 1].bytes_for(elems[i + 1]);
+                    prop_assert!(used <= budget, "pair {i} uses {used} of {budget}");
+                }
+            }
+            Err(e) => {
+                // Infeasibility must be genuine: some pair cannot fit even
+                // at the narrowest candidate.
+                let feasible = (0..elems.len() - 1).all(|i| {
+                    Bitwidth::W2.bytes_for(elems[i]) + Bitwidth::W2.bytes_for(elems[i + 1])
+                        <= budget
+                });
+                prop_assert!(!feasible, "spurious failure: {e}");
+            }
+        }
+    }
+
+    /// A larger budget never produces narrower total bits (relaxing the
+    /// constraint cannot force more demotion).
+    #[test]
+    fn larger_budget_never_narrows(
+        macs in prop::collection::vec(1u64..10_000, 3..8),
+        small in 1024usize..4096,
+    ) {
+        let elems = vec![2048usize; macs.len()];
+        let table = table_for(&macs, 0.6);
+        let big = small * 8;
+        let a = vdqs::determine_with_elem_counts(&table, &elems, small);
+        let b = vdqs::determine_with_elem_counts(&table, &elems, big);
+        if let (Ok(a), Ok(b)) = (a, b) {
+            let bits = |o: &vdqs::VdqsOutcome| -> u32 {
+                o.bitwidths.iter().map(|x| x.bits()).sum()
+            };
+            prop_assert!(bits(&b) >= bits(&a), "budget {big} gave fewer bits than {small}");
+        }
+    }
+
+    /// Entropy reduction is monotone in bitwidth for arbitrary signals.
+    #[test]
+    fn entropy_reduction_monotone(seed in 0u64..500, amp in 0.1f32..10.0) {
+        let values: Vec<f32> = (0..2048)
+            .map(|i| (((i as u64 ^ seed) % 997) as f32 * 0.013).sin() * amp)
+            .collect();
+        let d8 = entropy::entropy_reduction(&values, Bitwidth::W8, 256).unwrap();
+        let d4 = entropy::entropy_reduction(&values, Bitwidth::W4, 256).unwrap();
+        let d2 = entropy::entropy_reduction(&values, Bitwidth::W2, 256).unwrap();
+        prop_assert!(d2 + 1e-9 >= d4, "ΔH2 {d2} < ΔH4 {d4}");
+        prop_assert!(d4 + 1e-9 >= d8, "ΔH4 {d4} < ΔH8 {d8}");
+    }
+
+    /// Scores respect λ's direction: raising λ never makes a sub-byte
+    /// candidate's score better relative to 8-bit.
+    #[test]
+    fn lambda_direction(macs in prop::collection::vec(1u64..5_000, 2..6)) {
+        let low = table_for(&macs, 0.2);
+        let high = table_for(&macs, 0.8);
+        for i in 0..macs.len() {
+            let pick = |t: &ScoreTable| t.sorted_candidates(i)[0].bitwidth;
+            prop_assert!(pick(&high) >= pick(&low), "map {i}");
+        }
+    }
+}
