@@ -30,7 +30,10 @@ fn grid_ablation() {
     header(&["Grid", "Split", "Overhead", "Branches"], &widths);
     for grid in [2usize, 3, 4, 5] {
         let Ok(plan) = PatchPlan::fitted(&spec, grid, device.sram_bytes) else {
-            println!("{}", row(&[format!("{grid}x{grid}"), "-".into(), "-".into(), "-".into()], &widths));
+            println!(
+                "{}",
+                row(&[format!("{grid}x{grid}"), "-".into(), "-".into(), "-".into()], &widths)
+            );
             continue;
         };
         let report = redundancy::analyze(&spec, &plan).expect("report");
@@ -58,9 +61,7 @@ fn split_policy_ablation() {
     let widths = [8, 7, 12, 14, 12];
     header(&["Policy", "Split", "BitOPs (M)", "PeakMem (KB)", "MeanBits"], &widths);
     // Fitted policy = the production Planner.
-    let plan = Planner::new(QuantMcuConfig::paper())
-        .plan(&graph, &calib, EXEC_SRAM)
-        .expect("plan");
+    let plan = Planner::new(QuantMcuConfig::paper()).plan(&graph, &calib, EXEC_SRAM).expect("plan");
     print_plan_row("fitted", &plan, &widths);
     // Deep policy, reconstructed through the public plan API.
     let deep = PatchPlan::deep(graph.spec(), 3).expect("deep plan");
@@ -72,9 +73,7 @@ fn split_policy_ablation() {
                 format!("{}", deep.split_at()),
                 format!(
                     "(8-bit halo +{:.0}%)",
-                    (redundancy::analyze(graph.spec(), &deep)
-                        .expect("report")
-                        .overhead_ratio()
+                    (redundancy::analyze(graph.spec(), &deep).expect("report").overhead_ratio()
                         - 1.0)
                         * 100.0
                 ),
@@ -130,10 +129,7 @@ fn outlier_rule_ablation() {
         let clf = VdpcClassifier::fit(&values, rule).expect("fit");
         println!(
             "{}",
-            row(
-                &[label.into(), format!("{:.3}%", clf.outlier_fraction(&values) * 100.0)],
-                &widths
-            )
+            row(&[label.into(), format!("{:.3}%", clf.outlier_fraction(&values) * 100.0)], &widths)
         );
     }
 }

@@ -37,12 +37,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    model.name().to_string(),
-                    ms(layer),
-                    ms(patch),
-                    format!("+{overhead:.1}%"),
-                ],
+                &[model.name().to_string(), ms(layer), ms(patch), format!("+{overhead:.1}%"),],
                 &widths
             )
         );

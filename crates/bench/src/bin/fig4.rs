@@ -36,7 +36,9 @@ fn main() {
         let planner8 = Planner::new(QuantMcuConfig::paper());
         let f_mcunet = deployment_fidelity(
             &graph,
-            planner8.plan_uniform(&graph, &calib, Bitwidth::W8, quantmcu_bench::EXEC_SRAM).expect("plan"),
+            planner8
+                .plan_uniform(&graph, &calib, Bitwidth::W8, quantmcu_bench::EXEC_SRAM)
+                .expect("plan"),
             &eval,
         )
         .expect("run");
@@ -121,9 +123,7 @@ fn detection_cross_check() {
         // Float detections become pseudo ground truth.
         let pseudo_gt: Vec<Vec<GroundTruth>> = float_dets
             .iter()
-            .map(|ds| {
-                ds.iter().map(|d| GroundTruth { bbox: d.bbox, class: d.class }).collect()
-            })
+            .map(|ds| ds.iter().map(|d| GroundTruth { bbox: d.bbox, class: d.class }).collect())
             .collect();
         let cross = mean_average_precision(&quant_dets, &pseudo_gt, det.classes, 0.5);
         println!("  activations at {bits}: cross-mAP = {:.3}", cross);

@@ -27,10 +27,7 @@ fn main() {
     println!("Fig 5: QuantMCU accuracy vs phi (MobileNetV2, ImageNet proxy)\n");
     header(&["phi", "Top-1", "Top-5", "Outliers"], &WIDTHS);
     for phi in [0.90, 0.92, 0.94, 0.96, 0.98, 0.995] {
-        let cfg = QuantMcuConfig {
-            vdpc: VdpcConfig::with_phi(phi),
-            ..QuantMcuConfig::paper()
-        };
+        let cfg = QuantMcuConfig { vdpc: VdpcConfig::with_phi(phi), ..QuantMcuConfig::paper() };
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let outliers = plan.outlier_patch_count();
         let deployment = Deployment::new(&graph, plan).expect("deploy");
@@ -40,19 +37,11 @@ fn main() {
         let top5_hits = float
             .iter()
             .zip(&quant)
-            .filter(|(f, q)| {
-                f.argmax(0).map(|c| q.top_k(0, 5).contains(&c)).unwrap_or(false)
-            })
+            .filter(|(f, q)| f.argmax(0).map(|c| q.top_k(0, 5).contains(&c)).unwrap_or(false))
             .count();
         let top5_fid = top5_hits as f64 / float.len() as f64;
-        let a1 = ProjectedAccuracy::new(
-            PaperAnchors::imagenet_top1(Model::MobileNetV2),
-            top1_fid,
-        );
-        let a5 = ProjectedAccuracy::new(
-            PaperAnchors::imagenet_top5(Model::MobileNetV2),
-            top5_fid,
-        );
+        let a1 = ProjectedAccuracy::new(PaperAnchors::imagenet_top1(Model::MobileNetV2), top1_fid);
+        let a5 = ProjectedAccuracy::new(PaperAnchors::imagenet_top5(Model::MobileNetV2), top5_fid);
         println!(
             "{}",
             row(

@@ -38,10 +38,7 @@ fn run_block(spec: &GraphSpec, device: &Device) {
     let latency_model = LatencyModel::new(*device);
     header(&["Method", "PeakMem (KB)", "BitOPs (M)", "Lat. (ms)"], &WIDTHS);
     let print = |name: &str, mem: usize, bitops: u64, lat: std::time::Duration| {
-        println!(
-            "{}",
-            row(&[name.to_string(), kb(mem), mbitops(bitops), ms(lat)], &WIDTHS)
-        );
+        println!("{}", row(&[name.to_string(), kb(mem), mbitops(bitops), ms(lat)], &WIDTHS));
     };
 
     // Layer-based int8.
@@ -58,9 +55,8 @@ fn run_block(spec: &GraphSpec, device: &Device) {
     let (head, tail) = spec.split_at(mc.plan.split_at()).expect("valid split");
     let bb = vec![vec![Bitwidth::W8; head.len() + 1]; mc.plan.branch_count()];
     let tb = vec![Bitwidth::W8; tail.feature_map_count()];
-    let mc_lat = latency_model
-        .patch_based(spec, &mc.plan, &bb, &tb, Bitwidth::W8)
-        .expect("valid plan");
+    let mc_lat =
+        latency_model.patch_based(spec, &mc.plan, &bb, &tb, Bitwidth::W8).expect("valid plan");
     print("MCUNetV2", mc.cost.peak_memory_bytes, mc.cost.bitops, mc_lat);
 
     // Cipolletta et al. restructuring.
@@ -68,9 +64,8 @@ fn run_block(spec: &GraphSpec, device: &Device) {
     let (head, tail) = spec.split_at(ci.plan.split_at()).expect("valid split");
     let bb = vec![vec![Bitwidth::W8; head.len() + 1]; ci.plan.branch_count()];
     let tb = vec![Bitwidth::W8; tail.feature_map_count()];
-    let ci_lat = latency_model
-        .patch_based(spec, &ci.plan, &bb, &tb, Bitwidth::W8)
-        .expect("valid plan");
+    let ci_lat =
+        latency_model.patch_based(spec, &ci.plan, &bb, &tb, Bitwidth::W8).expect("valid plan");
     print("Cipolletta et al.", ci.cost.peak_memory_bytes, ci.cost.bitops, ci_lat);
 
     // RNNPool transform, executed layer-based.
@@ -90,10 +85,5 @@ fn run_block(spec: &GraphSpec, device: &Device) {
         .plan(&graph, &calib, device.sram_bytes)
         .expect("plannable");
     let q_lat = plan.latency(device).expect("valid plan");
-    print(
-        "QuantMCU",
-        plan.peak_memory_bytes().expect("valid plan"),
-        plan.bitops(),
-        q_lat,
-    );
+    print("QuantMCU", plan.peak_memory_bytes().expect("valid plan"), plan.bitops(), q_lat);
 }

@@ -30,10 +30,7 @@ fn main() {
     let time = TimeModel::paper();
 
     println!("Table II: quantization methods on MobileNetV2 (ImageNet proxy)\n");
-    header(
-        &["Method", "W/A-Bits", "Top-1", "BitOPs (M)", "Memory (KB)", "Time (min)"],
-        &WIDTHS,
-    );
+    header(&["Method", "W/A-Bits", "Top-1", "BitOPs (M)", "Memory (KB)", "Time (min)"], &WIDTHS);
 
     // Baseline 8/8.
     let base_ranges = calibrate_ranges(&graph, &calib).expect("calibrate");
@@ -69,10 +66,8 @@ fn main() {
     let q_time = plan.search_time;
     let q_bitops = plan.bitops();
     let q_mem = plan.peak_memory_bytes().expect("plan memory");
-    let fidelity =
-        quantmcu_bench::deployment_fidelity(&graph, plan, &eval).expect("deployment");
-    let top1 =
-        ProjectedAccuracy::new(PaperAnchors::imagenet_top1(Model::MobileNetV2), fidelity);
+    let fidelity = quantmcu_bench::deployment_fidelity(&graph, plan, &eval).expect("deployment");
+    let top1 = ProjectedAccuracy::new(PaperAnchors::imagenet_top1(Model::MobileNetV2), fidelity);
     println!(
         "{}",
         row(
@@ -116,11 +111,8 @@ fn run_vdqs(graph: &Graph, calib: &[Tensor], sram: usize) -> BitwidthAssignment 
         }
     }
     let et = entropy::build_table(&fm_values, &cfg.candidates, cfg.hist_bins).expect("entropy");
-    let reference = cost::total_bitops(
-        spec,
-        Bitwidth::W8,
-        &BitwidthAssignment::uniform(spec, Bitwidth::W8),
-    );
+    let reference =
+        cost::total_bitops(spec, Bitwidth::W8, &BitwidthAssignment::uniform(spec, Bitwidth::W8));
     let table = ScoreTable::build(
         &et,
         |i, b| cost::bitops_reduction(spec, quantmcu::nn::FeatureMapId(i), b, Bitwidth::W8),

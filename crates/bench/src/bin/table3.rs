@@ -26,20 +26,16 @@ fn main() {
     println!("Table III: impact of lambda on QuantMCU (MobileNetV2, ImageNet proxy)\n");
     header(&["lambda", "Top-1", "BitOPs (M)", "MeanBits"], &WIDTHS);
     for lambda in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
-        let cfg = QuantMcuConfig {
-            vdqs: VdqsConfig::with_lambda(lambda),
-            ..QuantMcuConfig::paper()
-        };
+        let cfg =
+            QuantMcuConfig { vdqs: VdqsConfig::with_lambda(lambda), ..QuantMcuConfig::paper() };
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let bitops = plan.bitops();
         let mean_bits = plan.mean_branch_bits();
         let deployment = Deployment::new(&graph, plan).expect("deploy");
         let quant = deployment.run_batch(&eval).expect("run");
         let fidelity = agreement_top1(&float, &quant);
-        let top1 = ProjectedAccuracy::new(
-            PaperAnchors::imagenet_top1(Model::MobileNetV2),
-            fidelity,
-        );
+        let top1 =
+            ProjectedAccuracy::new(PaperAnchors::imagenet_top1(Model::MobileNetV2), fidelity);
         println!(
             "{}",
             row(

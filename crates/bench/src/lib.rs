@@ -69,19 +69,13 @@ pub fn deployment_fidelity(
     let deployment = Deployment::new(graph, plan)?;
     let quant = deployment.run_batch(inputs)?;
     let float_exec = FloatExecutor::new(graph);
-    let float: Vec<Tensor> =
-        inputs.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
+    let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
     Ok(agreement_top1(&float, &quant))
 }
 
 /// Prints a table row with fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// Prints a header plus separator.

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan8 = planner.plan_uniform(&graph, &calibration, Bitwidth::W8, 16 * 1024)?;
     let dep8 = Deployment::new(&graph, plan8)?;
     let out8 = dep8.run_batch(&images)?;
-    println!("8-bit patches: agreement with float = {:.1}%", agreement_top1(&float_out, &out8) * 100.0);
+    println!(
+        "8-bit patches: agreement with float = {:.1}%",
+        agreement_top1(&float_out, &out8) * 100.0
+    );
 
     // QuantMCU mixed precision.
     let plan = planner.plan(&graph, &calibration, 16 * 1024)?;
@@ -50,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let dep = Deployment::new(&graph, plan)?;
     let out = dep.run_batch(&images)?;
-    println!("QuantMCU:      agreement with float = {:.1}%", agreement_top1(&float_out, &out) * 100.0);
+    println!(
+        "QuantMCU:      agreement with float = {:.1}%",
+        agreement_top1(&float_out, &out) * 100.0
+    );
     Ok(())
 }

@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let float_exec = FloatExecutor::new(&graph);
     let float_dets: Vec<_> = images
         .iter()
-        .map(|img| Ok::<_, quantmcu::nn::GraphError>(nms(decode(&float_exec.run(img)?, &det, 0.3), 0.5)))
+        .map(|img| {
+            Ok::<_, quantmcu::nn::GraphError>(nms(decode(&float_exec.run(img)?, &det, 0.3), 0.5))
+        })
         .collect::<Result<_, _>>()?;
     let boxes: usize = float_dets.iter().map(Vec::len).sum();
     println!("float model emits {boxes} detections over {} scenes", scenes.len());
@@ -57,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8)?;
         let quant_dets: Vec<_> = images
             .iter()
-            .map(|img| Ok::<_, quantmcu::nn::GraphError>(nms(decode(&qe.run(img)?, &det, 0.3), 0.5)))
+            .map(|img| {
+                Ok::<_, quantmcu::nn::GraphError>(nms(decode(&qe.run(img)?, &det, 0.3), 0.5))
+            })
             .collect::<Result<_, _>>()?;
         println!(
             "{bits} activations: cross-mAP vs float = {:.3}",

@@ -149,9 +149,7 @@ mod tests {
             let plan = Planner::new(cfg).plan(&g, &calib, 256 * 1024).unwrap();
             let dep = Deployment::new(&g, plan).unwrap();
             test.iter()
-                .filter(|t| {
-                    dep.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0)
-                })
+                .filter(|t| dep.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0))
                 .count()
         };
         let with_vdpc = fidelity(QuantMcuConfig::paper());

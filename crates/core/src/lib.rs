@@ -19,6 +19,7 @@
 //! # Quickstart
 //!
 //! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use quantmcu::{Planner, QuantMcuConfig};
 //! use quantmcu::models::{Model, ModelConfig};
 //! use quantmcu::nn::init;
@@ -30,7 +31,8 @@
 //! let plan = Planner::new(QuantMcuConfig::default())
 //!     .plan(&graph, &data.images(4), 256 * 1024)?;
 //! assert!(plan.bitops() < plan.baseline_patch_bitops());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

@@ -58,19 +58,15 @@ impl Planner {
 
         // Calibration traces: one float trace per calibration input.
         let exec = FloatExecutor::new(graph);
-        let traces: Vec<Vec<Tensor>> = calibration
-            .iter()
-            .map(|t| exec.run_trace(t))
-            .collect::<Result<_, _>>()?;
+        let traces: Vec<Vec<Tensor>> =
+            calibration.iter().map(|t| exec.run_trace(t)).collect::<Result<_, _>>()?;
 
         // ---- VDPC: classify the split feature map's patches (Fig. 3):
         // a patch of the *input* feature map containing an outlier value
         // sends its whole dataflow branch to 8-bit. The Gaussian is fitted
         // on the full input feature map across the calibration set.
-        let input_values: Vec<f32> = traces
-            .iter()
-            .flat_map(|tr| tr[0].data().iter().copied())
-            .collect();
+        let input_values: Vec<f32> =
+            traces.iter().flat_map(|tr| tr[0].data().iter().copied()).collect();
         // Classification looks at the *non-overlapping input tiles* (the
         // "patches" of Fig. 3), not the halo-expanded regions branches
         // read — halos of a deep stage cover most of the image and would
@@ -92,11 +88,7 @@ impl Planner {
                             flagged += 1;
                         }
                     }
-                    Ok(if flagged >= 1 {
-                        PatchClass::Outlier
-                    } else {
-                        PatchClass::NonOutlier
-                    })
+                    Ok(if flagged >= 1 { PatchClass::Outlier } else { PatchClass::NonOutlier })
                 })
                 .collect::<Result<_, PlanError>>()?
         } else {
@@ -131,12 +123,7 @@ impl Planner {
         // sub-byte grid on empty tail space — the accuracy collapse mode
         // of naive post-merge quantization.
         let tail_fm_values: Vec<Vec<f32>> = (0..tail.feature_map_count())
-            .map(|j| {
-                traces
-                    .iter()
-                    .flat_map(|tr| tr[split + j].data().iter().copied())
-                    .collect()
-            })
+            .map(|j| traces.iter().flat_map(|tr| tr[split + j].data().iter().copied()).collect())
             .collect();
         let tail_ranges: Vec<(f32, f32)> =
             tail_fm_values.iter().map(|v| clipped_range(v)).collect();
@@ -148,9 +135,7 @@ impl Planner {
         let tail_fm_values: Vec<Vec<f32>> = tail_fm_values
             .into_iter()
             .zip(&tail_ranges)
-            .map(|(values, &(lo, hi))| {
-                values.into_iter().map(|v| v.clamp(lo, hi)).collect()
-            })
+            .map(|(values, &(lo, hi))| values.into_iter().map(|v| v.clamp(lo, hi)).collect())
             .collect();
         let tail_ref_bitops = {
             let uniform = quantmcu_nn::cost::BitwidthAssignment::uniform(&tail, Bitwidth::W8);
@@ -206,10 +191,8 @@ impl Planner {
         let (head, tail) = spec.split_at(split)?;
         let branches = Branch::build_all(&spec, &patch_plan);
         let exec = FloatExecutor::new(graph);
-        let traces: Vec<Vec<Tensor>> = calibration
-            .iter()
-            .map(|t| exec.run_trace(t))
-            .collect::<Result<_, _>>()?;
+        let traces: Vec<Vec<Tensor>> =
+            calibration.iter().map(|t| exec.run_trace(t)).collect::<Result<_, _>>()?;
         let mut branch_ranges = Vec::with_capacity(branches.len());
         for branch in &branches {
             let fm_values = branch_feature_values(&traces, branch)?;
@@ -217,10 +200,8 @@ impl Planner {
         }
         let tail_ranges: Vec<(f32, f32)> = (0..tail.feature_map_count())
             .map(|j| {
-                let values: Vec<f32> = traces
-                    .iter()
-                    .flat_map(|tr| tr[split + j].data().iter().copied())
-                    .collect();
+                let values: Vec<f32> =
+                    traces.iter().flat_map(|tr| tr[split + j].data().iter().copied()).collect();
                 min_max(&values)
             })
             .collect();
@@ -249,7 +230,8 @@ impl Planner {
         total_bitops: u64,
         sram_bytes: usize,
     ) -> Result<Vec<Bitwidth>, PlanError> {
-        let et = entropy::build_table(fm_values, &self.cfg.vdqs.candidates, self.cfg.vdqs.hist_bins)?;
+        let et =
+            entropy::build_table(fm_values, &self.cfg.vdqs.candidates, self.cfg.vdqs.hist_bins)?;
         let w = self.cfg.weight_bits.bits() as u64;
         let head_len = head.len();
         // ΔB(i, b): feature map i's consumers within the head (several for
@@ -303,36 +285,20 @@ impl Planner {
         // the bulk of a distribution concentrates in few bins). Branch maps
         // keep the full candidate set — they are protected by VDPC and by
         // tight per-branch calibration ranges.
-        let tail_candidates: Vec<Bitwidth> = self
-            .cfg
-            .vdqs
-            .candidates
-            .iter()
-            .copied()
-            .filter(|b| *b >= Bitwidth::W4)
-            .collect();
-        let tail_cfg = quantmcu_quant::VdqsConfig {
-            candidates: tail_candidates,
-            ..self.cfg.vdqs.clone()
-        };
-        let et = entropy::build_table(
-            fm_values,
-            &tail_cfg.candidates,
-            tail_cfg.hist_bins * 16,
-        )?;
+        let tail_candidates: Vec<Bitwidth> =
+            self.cfg.vdqs.candidates.iter().copied().filter(|b| *b >= Bitwidth::W4).collect();
+        let tail_cfg =
+            quantmcu_quant::VdqsConfig { candidates: tail_candidates, ..self.cfg.vdqs.clone() };
+        let et = entropy::build_table(fm_values, &tail_cfg.candidates, tail_cfg.hist_bins * 16)?;
         let w = self.cfg.weight_bits;
         let table = ScoreTable::build(
             &et,
-            |i, b| {
-                quantmcu_nn::cost::bitops_reduction(tail, quantmcu_nn::FeatureMapId(i), b, w)
-            },
+            |i, b| quantmcu_nn::cost::bitops_reduction(tail, quantmcu_nn::FeatureMapId(i), b, w),
             total_bitops,
             &tail_cfg,
         )?;
-        let elems: Vec<usize> = tail
-            .feature_map_ids()
-            .map(|id| tail.feature_map_shape(id).len())
-            .collect();
+        let elems: Vec<usize> =
+            tail.feature_map_ids().map(|id| tail.feature_map_shape(id).len()).collect();
         let mut outcome = vdqs::determine_with_elem_counts(&table, &elems, sram_bytes)?;
         // Tiny late maps (global-pool outputs, logits) offer no memory or
         // compute savings worth their precision loss; the paper's Fig. 6
@@ -444,9 +410,7 @@ mod tests {
     #[test]
     fn plan_reduces_bitops_versus_8bit_patching() {
         let g = graph();
-        let plan = Planner::new(QuantMcuConfig::paper())
-            .plan(&g, &calib(4), 256 * 1024)
-            .unwrap();
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(4), 256 * 1024).unwrap();
         assert!(
             plan.bitops() < plan.baseline_patch_bitops(),
             "{} !< {}",
@@ -458,9 +422,7 @@ mod tests {
     #[test]
     fn vdpc_marks_bright_patches_as_outliers() {
         let g = graph();
-        let plan = Planner::new(QuantMcuConfig::paper())
-            .plan(&g, &calib(4), 256 * 1024)
-            .unwrap();
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(4), 256 * 1024).unwrap();
         // The injected bright spots must put at least one patch in the
         // outlier class, and that branch must stay all-8-bit.
         assert!(plan.outlier_patch_count() >= 1, "classes: {:?}", plan.patch_classes);
@@ -474,14 +436,12 @@ mod tests {
     #[test]
     fn without_vdpc_everything_is_searched() {
         let g = graph();
-        let plan = Planner::new(QuantMcuConfig::without_vdpc())
-            .plan(&g, &calib(4), 256 * 1024)
-            .unwrap();
+        let plan =
+            Planner::new(QuantMcuConfig::without_vdpc()).plan(&g, &calib(4), 256 * 1024).unwrap();
         assert_eq!(plan.outlier_patch_count(), 0);
         // More aggressive quantization than the VDPC-protected plan.
-        let protected = Planner::new(QuantMcuConfig::paper())
-            .plan(&g, &calib(4), 256 * 1024)
-            .unwrap();
+        let protected =
+            Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(4), 256 * 1024).unwrap();
         assert!(plan.bitops() <= protected.bitops());
     }
 
@@ -497,9 +457,7 @@ mod tests {
     #[test]
     fn plan_metrics_are_consistent() {
         let g = graph();
-        let plan = Planner::new(QuantMcuConfig::paper())
-            .plan(&g, &calib(3), 256 * 1024)
-            .unwrap();
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(3), 256 * 1024).unwrap();
         assert!(plan.peak_memory_bytes().unwrap() > 0);
         let dev = quantmcu_mcusim::Device::nano33_ble_sense();
         assert!(plan.latency(&dev).unwrap() > std::time::Duration::ZERO);
@@ -513,8 +471,6 @@ mod tests {
         let planner = Planner::new(QuantMcuConfig::paper());
         let loose = planner.plan(&g, &calib(3), 10 * 1024 * 1024).unwrap();
         let tight = planner.plan(&g, &calib(3), 2 * 1024).unwrap();
-        assert!(
-            tight.peak_memory_bytes().unwrap() <= loose.peak_memory_bytes().unwrap()
-        );
+        assert!(tight.peak_memory_bytes().unwrap() <= loose.peak_memory_bytes().unwrap());
     }
 }

@@ -72,8 +72,14 @@ impl DeploymentPlan {
         let w = self.weight_bits.bits() as u64;
         let mut total = 0u64;
         for (branch, bits) in self.branches.iter().zip(&self.branch_bits) {
-            for i in 0..head.len() {
-                total += branch.layer_macs(&head, i) * w * bits[i].bits() as u64;
+            assert!(
+                bits.len() > head.len(),
+                "branch_bits must cover the head ({} maps, got {})",
+                head.len() + 1,
+                bits.len()
+            );
+            for (i, b) in bits.iter().take(head.len()).enumerate() {
+                total += branch.layer_macs(&head, i) * w * b.bits() as u64;
             }
         }
         let tail_assignment = BitwidthAssignment::from_vec(&tail, self.tail_bits.clone());
@@ -126,12 +132,8 @@ impl DeploymentPlan {
     /// The average activation bitwidth across all branch feature maps —
     /// the Fig. 6 summary statistic.
     pub fn mean_branch_bits(&self) -> f64 {
-        let total: u64 = self
-            .branch_bits
-            .iter()
-            .flat_map(|b| b.iter())
-            .map(|b| b.bits() as u64)
-            .sum();
+        let total: u64 =
+            self.branch_bits.iter().flat_map(|b| b.iter()).map(|b| b.bits() as u64).sum();
         let count: usize = self.branch_bits.iter().map(Vec::len).sum();
         if count == 0 {
             return 0.0;

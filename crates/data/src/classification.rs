@@ -52,7 +52,8 @@ impl ClassificationDataset {
 
     /// Generates sample `index`: a `(image, label)` pair.
     pub fn sample(&self, index: usize) -> (Tensor, usize) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let label = index % self.classes;
         let image = self.render(label, &mut rng);
         (image, label)
@@ -74,9 +75,8 @@ impl ClassificationDataset {
         // per-image jitter so samples sit at varying distances from the
         // (implicit) decision boundaries — without jitter every logit
         // margin is huge and no quantization level ever flips an argmax.
-        let freq = (0.2 + 0.15 * (label % 5) as f32) * rng.gen_range(0.75..1.3);
-        let angle = (label % 8) as f32 * std::f32::consts::PI / 8.0
-            + rng.gen_range(-0.25..0.25f32);
+        let freq = (0.2 + 0.15 * (label % 5) as f32) * rng.gen_range(0.75f32..1.3);
+        let angle = (label % 8) as f32 * std::f32::consts::PI / 8.0 + rng.gen_range(-0.25..0.25f32);
         let (ca, sa) = (angle.cos(), angle.sin());
         let bias_jitter: f32 = rng.gen_range(0.5..1.4);
         let bias = [
@@ -110,9 +110,9 @@ impl ClassificationDataset {
                 } else {
                     0.0
                 };
-                for c in 0..3 {
+                for (c, &bc) in bias.iter().enumerate() {
                     let noise: f32 = rng.gen_range(-0.05..0.05);
-                    t.set(0, y, x, c, texture + bias[c] + noise + blob);
+                    t.set(0, y, x, c, texture + bc + noise + blob);
                 }
             }
         }

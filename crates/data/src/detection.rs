@@ -193,13 +193,11 @@ pub fn decode(output: &Tensor, det: &DetectionSpec, score_threshold: f32) -> Vec
 
 /// Greedy per-class non-maximum suppression.
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
-    detections
-        .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
     let mut keep: Vec<Detection> = Vec::new();
     for d in detections {
-        let suppressed = keep
-            .iter()
-            .any(|k| k.class == d.class && k.bbox.iou(&d.bbox) > iou_threshold);
+        let suppressed =
+            keep.iter().any(|k| k.class == d.class && k.bbox.iou(&d.bbox) > iou_threshold);
         if !suppressed {
             keep.push(d);
         }

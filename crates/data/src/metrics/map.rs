@@ -16,10 +16,8 @@ pub fn average_precision(
     iou_threshold: f32,
 ) -> Option<f64> {
     assert_eq!(detections.len(), truths.len(), "one detection list per image");
-    let total_gt: usize = truths
-        .iter()
-        .map(|t| t.iter().filter(|g| g.class == class).count())
-        .sum();
+    let total_gt: usize =
+        truths.iter().map(|t| t.iter().filter(|g| g.class == class).count()).sum();
     if total_gt == 0 {
         return None;
     }
@@ -27,14 +25,11 @@ pub fn average_precision(
     let mut dets: Vec<(usize, Detection)> = detections
         .iter()
         .enumerate()
-        .flat_map(|(img, ds)| {
-            ds.iter().filter(|d| d.class == class).map(move |&d| (img, d))
-        })
+        .flat_map(|(img, ds)| ds.iter().filter(|d| d.class == class).map(move |&d| (img, d)))
         .collect();
     dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
 
-    let mut matched: Vec<Vec<bool>> =
-        truths.iter().map(|t| vec![false; t.len()]).collect();
+    let mut matched: Vec<Vec<bool>> = truths.iter().map(|t| vec![false; t.len()]).collect();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut curve: Vec<(f64, f64)> = Vec::with_capacity(dets.len()); // (recall, precision)
@@ -63,10 +58,7 @@ pub fn average_precision(
     let mut ap = 0.0;
     let mut prev_recall = 0.0;
     for i in 0..curve.len() {
-        let max_prec = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f64, f64::max);
+        let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
         let (recall, _) = curve[i];
         ap += (recall - prev_recall) * max_prec;
         prev_recall = recall;
@@ -129,11 +121,7 @@ mod tests {
     #[test]
     fn false_positives_reduce_precision() {
         let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 }]];
-        let perfect = vec![vec![Detection {
-            bbox: b(0.1, 0.1, 0.4, 0.4),
-            class: 0,
-            score: 0.9,
-        }]];
+        let perfect = vec![vec![Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 }]];
         let noisy = vec![vec![
             Detection { bbox: b(0.6, 0.6, 0.9, 0.9), class: 0, score: 0.95 }, // FP outranks TP
             Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 },
@@ -176,11 +164,7 @@ mod tests {
     #[test]
     fn absent_classes_are_skipped_in_the_mean() {
         let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0 }]];
-        let dets = vec![vec![Detection {
-            bbox: b(0.1, 0.1, 0.4, 0.4),
-            class: 0,
-            score: 0.9,
-        }]];
+        let dets = vec![vec![Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 }]];
         assert!(average_precision(&dets, &gt, 3, 0.5).is_none());
         // mAP over 4 classes equals AP of the single present class.
         assert!((mean_average_precision(&dets, &gt, 4, 0.5) - 1.0).abs() < 1e-9);
@@ -189,11 +173,7 @@ mod tests {
     #[test]
     fn wrong_class_detections_never_match() {
         let gt = vec![vec![GroundTruth { bbox: b(0.1, 0.1, 0.4, 0.4), class: 1 }]];
-        let dets = vec![vec![Detection {
-            bbox: b(0.1, 0.1, 0.4, 0.4),
-            class: 0,
-            score: 0.9,
-        }]];
+        let dets = vec![vec![Detection { bbox: b(0.1, 0.1, 0.4, 0.4), class: 0, score: 0.9 }]];
         assert!(average_precision(&dets, &gt, 1, 0.5).unwrap() == 0.0);
     }
 }

@@ -12,11 +12,8 @@ pub fn top_k_accuracy(outputs: &[Tensor], labels: &[usize], k: usize) -> f64 {
     if outputs.is_empty() {
         return 0.0;
     }
-    let hits = outputs
-        .iter()
-        .zip(labels)
-        .filter(|(out, &label)| out.top_k(0, k).contains(&label))
-        .count();
+    let hits =
+        outputs.iter().zip(labels).filter(|(out, &label)| out.top_k(0, k).contains(&label)).count();
     hits as f64 / outputs.len() as f64
 }
 
@@ -32,11 +29,7 @@ pub fn agreement_top1(reference: &[Tensor], candidate: &[Tensor]) -> f64 {
     if reference.is_empty() {
         return 1.0;
     }
-    let hits = reference
-        .iter()
-        .zip(candidate)
-        .filter(|(a, b)| a.argmax(0) == b.argmax(0))
-        .count();
+    let hits = reference.iter().zip(candidate).filter(|(a, b)| a.argmax(0) == b.argmax(0)).count();
     hits as f64 / reference.len() as f64
 }
 
@@ -59,9 +52,8 @@ mod tests {
 
     #[test]
     fn top5_is_no_stricter_than_top1() {
-        let outs: Vec<Tensor> = (0..10)
-            .map(|i| logits((0..8).map(|c| ((c * 7 + i) % 5) as f32).collect()))
-            .collect();
+        let outs: Vec<Tensor> =
+            (0..10).map(|i| logits((0..8).map(|c| ((c * 7 + i) % 5) as f32).collect())).collect();
         let labels: Vec<usize> = (0..10).map(|i| i % 8).collect();
         let t1 = top_k_accuracy(&outs, &labels, 1);
         let t5 = top_k_accuracy(&outs, &labels, 5);

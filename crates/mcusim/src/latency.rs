@@ -44,7 +44,7 @@ impl LatencyModel {
         self.device
     }
 
-    fn to_duration(&self, cyc: f64) -> Duration {
+    fn duration_of(&self, cyc: f64) -> Duration {
         Duration::from_secs_f64(cyc / self.device.clock_hz * self.device.calibration)
     }
 
@@ -66,7 +66,7 @@ impl LatencyModel {
                 a_bits,
             );
         }
-        self.to_duration(cyc)
+        self.duration_of(cyc)
     }
 
     /// Latency of patch-based execution: per-branch region kernels (each a
@@ -103,7 +103,7 @@ impl LatencyModel {
                     actual: bits.len(),
                 });
             }
-            for i in 0..head.len() {
+            for (i, &act_bits) in bits.iter().take(head.len()).enumerate() {
                 let out_region = branch.regions()[i + 1];
                 let out_elems = (out_region.area() * head.node_shape(i).c) as u64;
                 cyc += cycles::kernel_cycles(
@@ -111,7 +111,7 @@ impl LatencyModel {
                     branch.layer_macs(&head, i),
                     out_elems,
                     weight_bits,
-                    bits[i],
+                    act_bits,
                 ) / cycles::PATCH_KERNEL_EFFICIENCY;
             }
         }
@@ -123,7 +123,7 @@ impl LatencyModel {
         }
         let tail_assignment = BitwidthAssignment::from_vec(&tail, tail_bits.to_vec());
         let tail_latency = self.layer_based(&tail, &tail_assignment, weight_bits);
-        Ok(self.to_duration(cyc) + tail_latency)
+        Ok(self.duration_of(cyc) + tail_latency)
     }
 }
 
@@ -148,12 +148,13 @@ mod tests {
             .unwrap()
     }
 
-    fn uniform_branch_bits(spec: &GraphSpec, plan: &PatchPlan, b: Bitwidth) -> (Vec<Vec<Bitwidth>>, Vec<Bitwidth>) {
+    fn uniform_branch_bits(
+        spec: &GraphSpec,
+        plan: &PatchPlan,
+        b: Bitwidth,
+    ) -> (Vec<Vec<Bitwidth>>, Vec<Bitwidth>) {
         let (head, tail) = spec.split_at(plan.split_at()).unwrap();
-        (
-            vec![vec![b; head.len() + 1]; plan.branch_count()],
-            vec![b; tail.feature_map_count()],
-        )
+        (vec![vec![b; head.len() + 1]; plan.branch_count()], vec![b; tail.feature_map_count()])
     }
 
     #[test]
@@ -162,7 +163,8 @@ mod tests {
         // uniform-8-bit patch inference slower.
         let s = spec();
         let model = LatencyModel::new(Device::nano33_ble_sense());
-        let layer = model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
+        let layer =
+            model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
         let plan = PatchPlan::new(&s, 5, 2, 2).unwrap();
         let (bb, tb) = uniform_branch_bits(&s, &plan, Bitwidth::W8);
         let patch = model.patch_based(&s, &plan, &bb, &tb, Bitwidth::W8).unwrap();
@@ -177,7 +179,8 @@ mod tests {
         // than even layer-based 8-bit.
         let s = spec();
         let model = LatencyModel::new(Device::nano33_ble_sense());
-        let layer = model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
+        let layer =
+            model.layer_based(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8), Bitwidth::W8);
         let plan = PatchPlan::new(&s, 5, 2, 2).unwrap();
         let (mut bb, mut tb) = uniform_branch_bits(&s, &plan, Bitwidth::W8);
         for bits in &mut bb {

@@ -71,12 +71,8 @@ mod tests {
             .dense(10)
             .build()
             .unwrap();
-        let r = FitReport::layer_based(
-            &Device::nano33_ble_sense(),
-            &spec,
-            Bitwidth::W8,
-            Bitwidth::W8,
-        );
+        let r =
+            FitReport::layer_based(&Device::nano33_ble_sense(), &spec, Bitwidth::W8, Bitwidth::W8);
         assert!(r.fits(), "{r:?}");
     }
 
@@ -89,12 +85,8 @@ mod tests {
             .dense(10)
             .build()
             .unwrap();
-        let r = FitReport::layer_based(
-            &Device::nano33_ble_sense(),
-            &spec,
-            Bitwidth::W8,
-            Bitwidth::W8,
-        );
+        let r =
+            FitReport::layer_based(&Device::nano33_ble_sense(), &spec, Bitwidth::W8, Bitwidth::W8);
         assert!(!r.sram_fits());
         assert!(r.flash_fits());
         assert!(!r.fits());

@@ -13,10 +13,8 @@ use crate::config::ModelConfig;
 /// Propagates spec-validation errors for infeasible configurations.
 pub fn squeezenet(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
     let s = |c: usize| cfg.scale_ch(c);
-    let mut b = GraphSpecBuilder::new(cfg.input_shape())
-        .conv2d(s(64), 3, 2, 1)
-        .relu()
-        .max_pool(2, 2);
+    let mut b =
+        GraphSpecBuilder::new(cfg.input_shape()).conv2d(s(64), 3, 2, 1).relu().max_pool(2, 2);
     for (squeeze, expand) in [(16, 64), (16, 64), (32, 128)] {
         b = b.fire(s(squeeze), s(expand), s(expand));
     }
@@ -36,10 +34,8 @@ pub fn squeezenet(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
 /// Propagates spec-validation errors for infeasible configurations.
 pub fn resnet18(cfg: ModelConfig) -> Result<GraphSpec, GraphError> {
     let s = |c: usize| cfg.scale_ch(c);
-    let mut b = GraphSpecBuilder::new(cfg.input_shape())
-        .conv2d(s(64), 7, 2, 3)
-        .relu()
-        .max_pool(2, 2);
+    let mut b =
+        GraphSpecBuilder::new(cfg.input_shape()).conv2d(s(64), 7, 2, 3).relu().max_pool(2, 2);
     for (stage, ch) in [64usize, 128, 256, 512].into_iter().enumerate() {
         let first_stride = if stage == 0 { 1 } else { 2 };
         b = b.basic_residual(s(ch), first_stride);
@@ -147,8 +143,7 @@ mod tests {
     fn squeezenet_has_concat_joins() {
         use quantmcu_nn::OpSpec;
         let spec = squeezenet(ModelConfig::exec_scale()).unwrap();
-        let concats =
-            spec.nodes().iter().filter(|n| matches!(n.op, OpSpec::Concat)).count();
+        let concats = spec.nodes().iter().filter(|n| matches!(n.op, OpSpec::Concat)).count();
         assert_eq!(concats, 7, "one concat per fire module");
     }
 

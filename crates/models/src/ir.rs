@@ -57,9 +57,8 @@ pub fn ir_network(
     table: &[IrBlock],
     head_ch: usize,
 ) -> Result<GraphSpec, GraphError> {
-    let mut b = GraphSpecBuilder::new(cfg.input_shape())
-        .conv2d(cfg.scale_ch(stem_ch), 3, 2, 1)
-        .relu6();
+    let mut b =
+        GraphSpecBuilder::new(cfg.input_shape()).conv2d(cfg.scale_ch(stem_ch), 3, 2, 1).relu6();
     let mut in_ch = cfg.scale_ch(stem_ch);
     for row in table {
         let out_ch = cfg.scale_ch(row.out_ch);
@@ -69,11 +68,7 @@ pub fn ir_network(
             in_ch = out_ch;
         }
     }
-    b.pwconv(cfg.scale_ch(head_ch))
-        .relu6()
-        .global_avg_pool()
-        .dense(cfg.classes)
-        .build()
+    b.pwconv(cfg.scale_ch(head_ch)).relu6().global_avg_pool().dense(cfg.classes).build()
 }
 
 /// Builds the spatially-resolved trunk of an inverted-residual network
@@ -90,9 +85,8 @@ pub(crate) fn ir_network_backbone(
     table: &[IrBlock],
     head_ch: usize,
 ) -> Result<GraphSpec, GraphError> {
-    let mut b = GraphSpecBuilder::new(cfg.input_shape())
-        .conv2d(cfg.scale_ch(stem_ch), 3, 2, 1)
-        .relu6();
+    let mut b =
+        GraphSpecBuilder::new(cfg.input_shape()).conv2d(cfg.scale_ch(stem_ch), 3, 2, 1).relu6();
     let mut in_ch = cfg.scale_ch(stem_ch);
     for row in table {
         let out_ch = cfg.scale_ch(row.out_ch);
@@ -284,8 +278,7 @@ mod tests {
             let spec = mobilenet_v2(cfg).unwrap();
             assert!(spec.splittable_at(0));
             assert!(spec.splittable_at(2)); // stem conv + relu6
-            let max_split =
-                (0..=spec.len()).filter(|&at| spec.splittable_at(at)).max().unwrap();
+            let max_split = (0..=spec.len()).filter(|&at| spec.splittable_at(at)).max().unwrap();
             assert!(max_split >= 5, "largest straight prefix is only {max_split}");
         }
     }

@@ -58,13 +58,8 @@ impl Model {
         [Model::MobileNetV2, Model::MnasNet, Model::FbnetA, Model::OfaCpu, Model::McuNet];
 
     /// The five networks of the Fig. 4 accuracy study.
-    pub const FIG4: [Model; 5] = [
-        Model::MobileNetV2,
-        Model::InceptionV3,
-        Model::SqueezeNet,
-        Model::ResNet18,
-        Model::Vgg16,
-    ];
+    pub const FIG4: [Model; 5] =
+        [Model::MobileNetV2, Model::InceptionV3, Model::SqueezeNet, Model::ResNet18, Model::Vgg16];
 
     /// Builds the model's [`GraphSpec`] at a configuration.
     ///

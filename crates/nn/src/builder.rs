@@ -177,7 +177,8 @@ impl GraphSpecBuilder {
         let squeezed = b.tip();
         let b = b.pwconv(expand1).relu();
         let left = b.tip();
-        let b = b.push(OpSpec::Conv2d { out_ch: expand3, kernel: 3, stride: 1, pad: 1 }, vec![squeezed]);
+        let b = b
+            .push(OpSpec::Conv2d { out_ch: expand3, kernel: 3, stride: 1, pad: 1 }, vec![squeezed]);
         let b = b.relu();
         let right = b.tip();
         let mut b = b.push(OpSpec::Concat, vec![left, right]);
@@ -235,19 +236,13 @@ mod tests {
 
     #[test]
     fn fire_module_concats_expands() {
-        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 32))
-            .fire(4, 8, 8)
-            .build()
-            .unwrap();
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 32)).fire(4, 8, 8).build().unwrap();
         assert_eq!(g.output_shape(), Shape::hwc(8, 8, 16));
     }
 
     #[test]
     fn basic_residual_keeps_shape() {
-        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 8))
-            .basic_residual(8, 1)
-            .build()
-            .unwrap();
+        let g = GraphSpecBuilder::new(Shape::hwc(8, 8, 8)).basic_residual(8, 1).build().unwrap();
         assert_eq!(g.output_shape(), Shape::hwc(8, 8, 8));
     }
 

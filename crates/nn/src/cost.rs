@@ -183,8 +183,8 @@ pub fn peak_activation_bytes(spec: &GraphSpec, assignment: &BitwidthAssignment) 
         // Live during node i: its output plus every map produced earlier
         // (or the input) whose last use is >= i.
         let mut live = bytes(i + 1);
-        for fm in 0..=i {
-            if last_use[fm] >= i {
+        for (fm, &lu) in last_use.iter().enumerate().take(i + 1) {
+            if lu >= i {
                 live += bytes(fm);
             }
         }
@@ -218,7 +218,10 @@ mod tests {
         assert_eq!(node_macs(&s, 2), (4 * 4 * 16 * 9) as u64);
         assert_eq!(node_macs(&s, 3), (4 * 4 * 8 * 16) as u64);
         assert_eq!(node_macs(&s, 5), (8 * 10) as u64);
-        assert_eq!(total_macs(&s), node_macs(&s, 0) + node_macs(&s, 2) + node_macs(&s, 3) + node_macs(&s, 5));
+        assert_eq!(
+            total_macs(&s),
+            node_macs(&s, 0) + node_macs(&s, 2) + node_macs(&s, 3) + node_macs(&s, 5)
+        );
     }
 
     #[test]
@@ -282,17 +285,13 @@ mod tests {
             .conv2d(8, 3, 1, 1)
             .build()
             .unwrap();
-        let residual = GraphSpecBuilder::new(Shape::hwc(8, 8, 8))
-            .basic_residual(8, 1)
-            .build()
-            .unwrap();
+        let residual =
+            GraphSpecBuilder::new(Shape::hwc(8, 8, 8)).basic_residual(8, 1).build().unwrap();
         let a_plain = BitwidthAssignment::uniform(&plain, Bitwidth::W8);
         let a_res = BitwidthAssignment::uniform(&residual, Bitwidth::W8);
         // The residual keeps the block input alive across both convs, so
         // its peak must exceed the plain chain's.
-        assert!(
-            peak_activation_bytes(&residual, &a_res) > peak_activation_bytes(&plain, &a_plain)
-        );
+        assert!(peak_activation_bytes(&residual, &a_res) > peak_activation_bytes(&plain, &a_plain));
     }
 
     #[test]

@@ -56,7 +56,12 @@ impl<'g> FloatExecutor<'g> {
         for (i, node) in spec.nodes().iter().enumerate() {
             let inputs: Vec<&Tensor> =
                 node.inputs.iter().map(|s| &maps[source_index(*s)]).collect();
-            let out = eval_op(node.op, &inputs, self.graph.params(i).weights(), self.graph.params(i).bias());
+            let out = eval_op(
+                node.op,
+                &inputs,
+                self.graph.params(i).weights(),
+                self.graph.params(i).bias(),
+            );
             maps.push(out);
         }
         Ok(maps)
@@ -114,8 +119,8 @@ fn conv2d(
     for n in 0..is.n {
         for oy in 0..oh {
             for ox in 0..ow {
-                for oc in 0..out_ch {
-                    let mut acc = bias[oc];
+                for (oc, &b) in bias.iter().enumerate().take(out_ch) {
+                    let mut acc = b;
                     for ky in 0..k {
                         let iy = (oy * stride + ky) as isize - pad as isize;
                         if iy < 0 || iy as usize >= is.h {
@@ -302,10 +307,8 @@ mod tests {
     #[test]
     fn conv_sum_kernel_counts_neighbors() {
         let spec = GraphSpecBuilder::new(Shape::hwc(3, 3, 1)).conv2d(1, 3, 1, 1).build().unwrap();
-        let g = Graph::new(
-            spec,
-            vec![OpParams::Weights { weights: vec![1.0; 9], bias: vec![0.0] }],
-        );
+        let g =
+            Graph::new(spec, vec![OpParams::Weights { weights: vec![1.0; 9], bias: vec![0.0] }]);
         let input = Tensor::full(Shape::hwc(3, 3, 1), 1.0);
         let out = FloatExecutor::new(&g).run(&input).unwrap();
         // Center position sees all 9 ones; corner sees 4.
@@ -316,10 +319,7 @@ mod tests {
     #[test]
     fn strided_conv_downsamples() {
         let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).conv2d(1, 1, 2, 0).build().unwrap();
-        let g = Graph::new(
-            spec,
-            vec![OpParams::Weights { weights: vec![1.0], bias: vec![0.0] }],
-        );
+        let g = Graph::new(spec, vec![OpParams::Weights { weights: vec![1.0], bias: vec![0.0] }]);
         let input = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32);
         let out = FloatExecutor::new(&g).run(&input).unwrap();
         assert_eq!(out.shape(), Shape::hwc(2, 2, 1));
@@ -345,8 +345,7 @@ mod tests {
     fn pools_and_gap() {
         let spec = GraphSpecBuilder::new(Shape::hwc(2, 2, 1)).max_pool(2, 2).build().unwrap();
         let g = init::with_structured_weights(spec, 0);
-        let input =
-            Tensor::from_vec(Shape::hwc(2, 2, 1), vec![1.0, 5.0, -2.0, 3.0]).unwrap();
+        let input = Tensor::from_vec(Shape::hwc(2, 2, 1), vec![1.0, 5.0, -2.0, 3.0]).unwrap();
         let out = FloatExecutor::new(&g).run(&input).unwrap();
         assert_eq!(out.at(0, 0, 0, 0), 5.0);
 
@@ -365,10 +364,8 @@ mod tests {
         };
         let mut weights = vec![0.0f32; 9];
         weights[4] = 1.0;
-        let g = Graph::new(
-            spec,
-            vec![OpParams::Weights { weights, bias: vec![0.0] }, OpParams::None],
-        );
+        let g =
+            Graph::new(spec, vec![OpParams::Weights { weights, bias: vec![0.0] }, OpParams::None]);
         let input = Tensor::from_fn(Shape::hwc(4, 4, 1), |i| i as f32);
         let out = FloatExecutor::new(&g).run(&input).unwrap();
         assert_eq!(out.at(0, 2, 3, 0), 2.0 * input.at(0, 2, 3, 0));
@@ -384,14 +381,10 @@ mod tests {
 
     #[test]
     fn trace_has_one_entry_per_feature_map() {
-        let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1))
-            .conv2d(2, 3, 1, 1)
-            .relu6()
-            .build()
-            .unwrap();
+        let spec =
+            GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).conv2d(2, 3, 1, 1).relu6().build().unwrap();
         let g = init::with_structured_weights(spec, 2);
-        let trace =
-            FloatExecutor::new(&g).run_trace(&Tensor::zeros(Shape::hwc(4, 4, 1))).unwrap();
+        let trace = FloatExecutor::new(&g).run_trace(&Tensor::zeros(Shape::hwc(4, 4, 1))).unwrap();
         assert_eq!(trace.len(), 3);
         assert_eq!(trace[0].shape(), Shape::hwc(4, 4, 1));
         assert_eq!(trace[1].shape(), Shape::hwc(4, 4, 2));

@@ -94,7 +94,8 @@ impl<'g> QuantExecutor<'g> {
                 qweights.push(Vec::new());
                 continue;
             }
-            let (channels, per_channel) = weight_channel_layout(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w.len());
+            let (channels, per_channel) =
+                weight_channel_layout(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w.len());
             let params = ChannelQuantParams::fit(
                 &regroup_by_channel(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w),
                 channels,
@@ -322,12 +323,9 @@ impl<'g> QuantExecutor<'g> {
                 let acc_scale = s_in * wp.scale(o) as f64;
                 acc += (bias[o] as f64 / acc_scale).round() as i64;
                 let real = acc as f64 * acc_scale;
-                let q = (real / out_params.scale() as f64).round() as i32
-                    + out_params.zero_point();
-                out[n * out_f + o] = q.clamp(
-                    out_params.bitwidth().min_value(),
-                    out_params.bitwidth().max_value(),
-                );
+                let q = (real / out_params.scale() as f64).round() as i32 + out_params.zero_point();
+                out[n * out_f + o] =
+                    q.clamp(out_params.bitwidth().min_value(), out_params.bitwidth().max_value());
             }
         }
         out
@@ -425,8 +423,8 @@ mod tests {
         let g = small_graph();
         let inputs = calib_inputs(g.spec().input_shape(), 4);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
-        let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8)
-            .unwrap();
+        let qe =
+            QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
         let fe = FloatExecutor::new(&g);
         let f_out = fe.run(&inputs[0]).unwrap();
         let q_out = qe.run(&inputs[0]).unwrap();
@@ -444,8 +442,7 @@ mod tests {
         let f_out = fe.run(&inputs[0]).unwrap();
         let mut errs = Vec::new();
         for b in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
-            let qe =
-                QuantExecutor::new(&g, &ranges, &uniform_bits(&g, b), Bitwidth::W8).unwrap();
+            let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, b), Bitwidth::W8).unwrap();
             errs.push(f_out.mean_abs_diff(&qe.run(&inputs[0]).unwrap()));
         }
         assert!(errs[0] <= errs[1] + 1e-6, "8-bit ({}) should beat 4-bit ({})", errs[0], errs[1]);
@@ -459,9 +456,8 @@ mod tests {
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
         let fm = g.spec().feature_map_count();
         // First half of the maps at 4-bit, rest at 8-bit.
-        let bits: Vec<Bitwidth> = (0..fm)
-            .map(|i| if i < fm / 2 { Bitwidth::W4 } else { Bitwidth::W8 })
-            .collect();
+        let bits: Vec<Bitwidth> =
+            (0..fm).map(|i| if i < fm / 2 { Bitwidth::W4 } else { Bitwidth::W8 }).collect();
         let qe = QuantExecutor::new(&g, &ranges, &bits, Bitwidth::W8).unwrap();
         let out = qe.run(&inputs[0]).unwrap();
         assert!(out.data().iter().all(|v| v.is_finite()));
@@ -484,8 +480,8 @@ mod tests {
         let g = small_graph();
         let inputs = calib_inputs(g.spec().input_shape(), 2);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
-        let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8)
-            .unwrap();
+        let qe =
+            QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
         let trace = qe.run_trace(&inputs[0]).unwrap();
         assert_eq!(trace.len(), g.spec().feature_map_count());
     }

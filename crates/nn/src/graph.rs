@@ -94,9 +94,7 @@ impl Graph {
 pub(crate) fn expected_param_lens(spec: &GraphSpec, i: usize) -> (usize, usize) {
     let in_shape: Shape = spec.input_shapes_of(i)[0];
     match spec.nodes()[i].op {
-        OpSpec::Conv2d { out_ch, kernel, .. } => {
-            (out_ch * kernel * kernel * in_shape.c, out_ch)
-        }
+        OpSpec::Conv2d { out_ch, kernel, .. } => (out_ch * kernel * kernel * in_shape.c, out_ch),
         OpSpec::DepthwiseConv2d { kernel, .. } => (kernel * kernel * in_shape.c, in_shape.c),
         OpSpec::Dense { out } => (out * in_shape.per_sample(), out),
         _ => (0, 0),
@@ -115,10 +113,8 @@ mod tests {
         let (w, b) = expected_param_lens(&spec, 0);
         assert_eq!(w, 2 * 3 * 3 * 3);
         assert_eq!(b, 2);
-        let g = Graph::new(
-            spec,
-            vec![OpParams::Weights { weights: vec![0.0; w], bias: vec![0.0; b] }],
-        );
+        let g =
+            Graph::new(spec, vec![OpParams::Weights { weights: vec![0.0; w], bias: vec![0.0; b] }]);
         assert_eq!(g.params(0).weights().len(), w);
     }
 

@@ -57,7 +57,12 @@ impl SpatialTransfer {
         let x0 = lo(out.x);
         let y1 = hi(out.y_end(), in_h).max(y0 + 1).min(in_h);
         let x1 = hi(out.x_end(), in_w).max(x0 + 1).min(in_w);
-        Region::new(y0.min(in_h - 1), x0.min(in_w - 1), y1 - y0.min(in_h - 1), x1 - x0.min(in_w - 1))
+        Region::new(
+            y0.min(in_h - 1),
+            x0.min(in_w - 1),
+            y1 - y0.min(in_h - 1),
+            x1 - x0.min(in_w - 1),
+        )
     }
 }
 
@@ -99,10 +104,7 @@ pub fn backward_regions(spec: &GraphSpec, out_region: Region) -> Vec<Region> {
             });
         }
     }
-    demand
-        .into_iter()
-        .map(|d| d.unwrap_or(Region::new(0, 0, 0, 0)))
-        .collect()
+    demand.into_iter().map(|d| d.unwrap_or(Region::new(0, 0, 0, 0))).collect()
 }
 
 /// Bounding box of two regions.
@@ -264,10 +266,8 @@ mod tests {
             .conv2d(4, 3, 2, 1)
             .build()
             .unwrap();
-        let crop_graph = crate::graph::Graph::new(
-            crop_spec,
-            (0..3).map(|i| graph.params(i).clone()).collect(),
-        );
+        let crop_graph =
+            crate::graph::Graph::new(crop_spec, (0..3).map(|i| graph.params(i).clone()).collect());
         let patch_out = FloatExecutor::new(&crop_graph).run(&crop).unwrap();
 
         // The output patch within patch_out starts at the offset of

@@ -234,13 +234,18 @@ fn conv_out(
     op: &'static str,
 ) -> Result<(usize, usize), GraphError> {
     if kernel == 0 || stride == 0 {
-        return Err(GraphError::InvalidHyperparameter { op, detail: "kernel and stride must be positive" });
+        return Err(GraphError::InvalidHyperparameter {
+            op,
+            detail: "kernel and stride must be positive",
+        });
     }
     let oh = (h + 2 * pad).checked_sub(kernel).map(|v| v / stride + 1);
     let ow = (w + 2 * pad).checked_sub(kernel).map(|v| v / stride + 1);
     match (oh, ow) {
         (Some(oh), Some(ow)) if oh > 0 && ow > 0 => Ok((oh, ow)),
-        _ => Err(GraphError::InvalidHyperparameter { op, detail: "kernel larger than padded input" }),
+        _ => {
+            Err(GraphError::InvalidHyperparameter { op, detail: "kernel larger than padded input" })
+        }
     }
 }
 
@@ -383,11 +388,7 @@ impl GraphSpec {
 
     /// For each node, the input shapes it consumes.
     pub fn input_shapes_of(&self, i: usize) -> Vec<Shape> {
-        self.nodes[i]
-            .inputs
-            .iter()
-            .map(|src| self.feature_map_shape(src.feature_map()))
-            .collect()
+        self.nodes[i].inputs.iter().map(|src| self.feature_map_shape(src.feature_map())).collect()
     }
 
     /// Node indices that read feature map `id` (consumers).

@@ -110,11 +110,8 @@ mod tests {
 
     #[test]
     fn unsplittable_graph_is_an_error() {
-        let s = GraphSpecBuilder::new(Shape::hwc(4, 4, 3))
-            .global_avg_pool()
-            .dense(10)
-            .build()
-            .unwrap();
+        let s =
+            GraphSpecBuilder::new(Shape::hwc(4, 4, 3)).global_avg_pool().dense(10).build().unwrap();
         assert!(schedule(&s).is_err());
     }
 }

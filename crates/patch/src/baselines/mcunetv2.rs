@@ -108,7 +108,10 @@ mod tests {
         let s = spec();
         let generous = schedule(&s, 10 * 1024 * 1024).unwrap();
         let tight = schedule(&s, generous.cost.peak_memory_bytes - 1).unwrap();
-        assert!(tight.plan.rows() > 3 || tight.cost.peak_memory_bytes <= generous.cost.peak_memory_bytes);
+        assert!(
+            tight.plan.rows() > 3
+                || tight.cost.peak_memory_bytes <= generous.cost.peak_memory_bytes
+        );
     }
 
     #[test]

@@ -191,11 +191,8 @@ mod tests {
 
     #[test]
     fn rejects_graphs_without_prefix() {
-        let s = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
-            .global_avg_pool()
-            .dense(4)
-            .build()
-            .unwrap();
+        let s =
+            GraphSpecBuilder::new(Shape::hwc(8, 8, 3)).global_avg_pool().dense(4).build().unwrap();
         assert!(schedule(&s).is_err());
     }
 }

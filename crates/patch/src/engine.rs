@@ -47,8 +47,7 @@ impl<'g> PatchExecutor<'g> {
         let spec = graph.spec();
         let (head, tail) = spec.split_at(plan.split_at())?;
         let branches = Branch::build_all(spec, &plan);
-        let tail_params =
-            (plan.split_at()..spec.len()).map(|i| graph.params(i).clone()).collect();
+        let tail_params = (plan.split_at()..spec.len()).map(|i| graph.params(i).clone()).collect();
         let tail_graph = Graph::new(tail, tail_params);
         Ok(PatchExecutor { graph, plan, head, tail_graph, branches })
     }
@@ -206,8 +205,8 @@ fn eval_region(
             for n in 0..is.n {
                 for oy in region.y..region_y_end {
                     for ox in region.x..region_x_end {
-                        for oc in 0..out_ch {
-                            let mut acc = bias[oc];
+                        for (oc, &b) in bias.iter().enumerate().take(out_ch) {
+                            let mut acc = b;
                             for ky in 0..kernel {
                                 let iy = (oy * stride + ky) as isize - pad as isize;
                                 if iy < 0 || iy as usize >= is.h {
@@ -385,15 +384,12 @@ mod tests {
         let pe = PatchExecutor::new(&g, plan).unwrap();
         // Build per-branch 8-bit params from a float trace.
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
-        let params: Vec<QuantParams> = trace[..6]
-            .iter()
-            .map(|t| QuantParams::from_tensor(t, Bitwidth::W8))
-            .collect();
+        let params: Vec<QuantParams> =
+            trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W8)).collect();
         let per_branch = vec![params; 4];
         let q = pe.run_quantized(&input(), Some(&per_branch)).unwrap();
         let f = pe.run(&input()).unwrap();
-        let denom =
-            f.stage_output.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        let denom = f.stage_output.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
         assert!(q.stage_output.mean_abs_diff(&f.stage_output) / denom < 0.05);
     }
 

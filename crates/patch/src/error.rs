@@ -41,10 +41,9 @@ impl fmt::Display for PatchError {
             PatchError::NotSplittable { at } => {
                 write!(f, "graph is not splittable at node boundary {at}")
             }
-            PatchError::GridTooFine { rows, cols, out_h, out_w } => write!(
-                f,
-                "{rows}x{cols} patch grid exceeds the {out_h}x{out_w} stage output"
-            ),
+            PatchError::GridTooFine { rows, cols, out_h, out_w } => {
+                write!(f, "{rows}x{cols} patch grid exceeds the {out_h}x{out_w} stage output")
+            }
             PatchError::BitwidthLength { expected, actual } => {
                 write!(f, "branch bitwidth vector needs {expected} entries, got {actual}")
             }

@@ -103,7 +103,9 @@ pub fn patch_peak_bytes(
     let stage_bytes: usize = branches
         .iter()
         .zip(branch_bits)
-        .map(|(br, bits)| region_bytes(br.output_region(), stage_ch, *bits.last().expect("nonempty")))
+        .map(|(br, bits)| {
+            region_bytes(br.output_region(), stage_ch, *bits.last().expect("nonempty"))
+        })
         .sum();
     let worst_branch = branches
         .iter()
@@ -157,8 +159,7 @@ mod tests {
         let branch_bits = vec![uniform(head.len() + 1, Bitwidth::W8); 4];
         let tail_bits = uniform(tail.feature_map_count(), Bitwidth::W8);
         let patch = patch_peak_bytes(&s, &plan, &branch_bits, &tail_bits).unwrap();
-        let layer =
-            layer_peak_bytes(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8));
+        let layer = layer_peak_bytes(&s, &BitwidthAssignment::uniform(&s, Bitwidth::W8));
         assert!(patch < layer, "patch {patch} should be below layer {layer}");
     }
 

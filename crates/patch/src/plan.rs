@@ -61,7 +61,12 @@ impl PatchPlan {
     /// Returns [`PatchError::NotSplittable`] when the prefix is not a
     /// straight chain, and [`PatchError::GridTooFine`] when the grid has
     /// more cells than stage-output positions.
-    pub fn new(spec: &GraphSpec, split_at: usize, rows: usize, cols: usize) -> Result<Self, PatchError> {
+    pub fn new(
+        spec: &GraphSpec,
+        split_at: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, PatchError> {
         if !spec.splittable_at(split_at) {
             return Err(PatchError::NotSplittable { at: split_at });
         }
@@ -71,11 +76,7 @@ impl PatchPlan {
                 return Err(PatchError::NotSplittable { at: split_at });
             }
         }
-        let out = if split_at == 0 {
-            spec.input_shape()
-        } else {
-            spec.node_shape(split_at - 1)
-        };
+        let out = if split_at == 0 { spec.input_shape() } else { spec.node_shape(split_at - 1) };
         if rows == 0 || cols == 0 || rows > out.h || cols > out.w {
             return Err(PatchError::GridTooFine { rows, cols, out_h: out.h, out_w: out.w });
         }
@@ -262,10 +263,7 @@ mod tests {
 
     #[test]
     fn grid_finer_than_output_rejected() {
-        assert!(matches!(
-            PatchPlan::new(&spec(), 3, 5, 5),
-            Err(PatchError::GridTooFine { .. })
-        ));
+        assert!(matches!(PatchPlan::new(&spec(), 3, 5, 5), Err(PatchError::GridTooFine { .. })));
     }
 
     #[test]

@@ -59,12 +59,8 @@ pub fn run(
         let mut mse = 0.0f64;
         for (input, fref) in eval.iter().zip(&float_outputs) {
             let q = qe.run(input)?;
-            let d: f64 = q
-                .data()
-                .iter()
-                .zip(fref.data())
-                .map(|(a, b)| ((a - b) as f64).powi(2))
-                .sum();
+            let d: f64 =
+                q.data().iter().zip(fref.data()).map(|(a, b)| ((a - b) as f64).powi(2)).sum();
             mse += d / fref.data().len() as f64;
         }
         mse /= eval.len().max(1) as f64;
@@ -88,8 +84,8 @@ pub fn run(
         }
         let reward = evaluate(&proposal)?;
         let temperature = 1.0 - episode as f64 / EPISODES as f64;
-        let accept = reward > current_reward
-            || rng.gen_range(0.0..1.0) < (0.15 * temperature).max(1e-6);
+        let accept =
+            reward > current_reward || rng.gen_range(0.0..1.0) < (0.15 * temperature).max(1e-6);
         if accept {
             current = proposal;
             current_reward = reward;
@@ -153,12 +149,7 @@ mod tests {
         // all-2-bit; the output layer especially should stay wide.
         let g = graph();
         let out = run(&g, &tensors(2), &tensors(2), 3, &TimeModel::paper()).unwrap();
-        let avg_bits: f64 = out
-            .assignment
-            .as_slice()
-            .iter()
-            .map(|b| b.bits() as f64)
-            .sum::<f64>()
+        let avg_bits: f64 = out.assignment.as_slice().iter().map(|b| b.bits() as f64).sum::<f64>()
             / out.assignment.as_slice().len() as f64;
         assert!(avg_bits > 3.0, "average bits collapsed to {avg_bits}");
         assert!((out.modeled_search_minutes - 90.0).abs() < 1e-9);

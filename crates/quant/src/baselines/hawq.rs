@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn meets_the_bitops_target() {
         let g = graph();
-        let out =
-            run(&g, &tensors(2, 0), &tensors(2, 7), 0.7, &TimeModel::paper()).unwrap();
+        let out = run(&g, &tensors(2, 0), &tensors(2, 7), 0.7, &TimeModel::paper()).unwrap();
         let spec = g.spec();
         let base = cost::total_bitops(
             spec,
@@ -146,8 +145,7 @@ mod tests {
     #[test]
     fn target_of_one_keeps_everything_8_bit() {
         let g = graph();
-        let out =
-            run(&g, &tensors(2, 0), &tensors(1, 3), 1.0, &TimeModel::paper()).unwrap();
+        let out = run(&g, &tensors(2, 0), &tensors(1, 3), 1.0, &TimeModel::paper()).unwrap();
         assert!(out.assignment.as_slice().iter().all(|&b| b == Bitwidth::W8));
     }
 
@@ -158,8 +156,7 @@ mod tests {
         // sensitive ones: check that at least one map stays at 8-bit while
         // others dropped, i.e. the ordering did something.
         let g = graph();
-        let out =
-            run(&g, &tensors(2, 0), &tensors(2, 9), 0.5, &TimeModel::paper()).unwrap();
+        let out = run(&g, &tensors(2, 0), &tensors(2, 9), 0.5, &TimeModel::paper()).unwrap();
         let bits = out.assignment.as_slice();
         let dropped = bits.iter().filter(|&&b| b < Bitwidth::W8).count();
         assert!(dropped > 0, "target 0.5 must force demotions");

@@ -27,7 +27,11 @@ const CLIP_GRID: [f32; 6] = [0.5, 0.65, 0.8, 0.9, 0.97, 1.0];
 /// # Errors
 ///
 /// Propagates executor errors from the calibration trace.
-pub fn run(graph: &Graph, calib: &[Tensor], time: &TimeModel) -> Result<QuantizerOutcome, GraphError> {
+pub fn run(
+    graph: &Graph,
+    calib: &[Tensor],
+    time: &TimeModel,
+) -> Result<QuantizerOutcome, GraphError> {
     let start = Instant::now();
     let spec = graph.spec();
     let exec = FloatExecutor::new(graph);

@@ -163,8 +163,7 @@ mod tests {
     fn tight_flash_narrows_weights() {
         let g = graph();
         let full_flash = cost::flash_bytes(g.spec(), Bitwidth::W8);
-        let out =
-            run(&g, &calib(), usize::MAX, full_flash / 2, &TimeModel::paper()).unwrap();
+        let out = run(&g, &calib(), usize::MAX, full_flash / 2, &TimeModel::paper()).unwrap();
         assert!(out.weight_bits < Bitwidth::W8);
     }
 

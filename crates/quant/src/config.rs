@@ -51,11 +51,7 @@ impl VdqsConfig {
     /// `k` inflates every ΔH toward `ln(k/levels)` and pushes the search
     /// toward all-8-bit; smaller `k` blinds it to quantization loss.
     pub fn paper() -> Self {
-        VdqsConfig {
-            lambda: 0.6,
-            hist_bins: 32,
-            candidates: Bitwidth::SEARCH_CANDIDATES.to_vec(),
-        }
+        VdqsConfig { lambda: 0.6, hist_bins: 32, candidates: Bitwidth::SEARCH_CANDIDATES.to_vec() }
     }
 
     /// The paper configuration with a different λ (the Table III sweep).

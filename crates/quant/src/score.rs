@@ -95,8 +95,7 @@ impl ScoreTable {
                         // rescaling can push compute-hot maps past 1, at
                         // which point Φ would override any entropy penalty
                         // (λ ≤ 1), so it saturates at 1.
-                        let phi = (bitops_reduction(i, b) as f64 * fm_count
-                            / total_bitops as f64)
+                        let phi = (bitops_reduction(i, b) as f64 * fm_count / total_bitops as f64)
                             .min(1.0);
                         let omega = entropy.reductions[i][j] / h_last;
                         ScoredCandidate {

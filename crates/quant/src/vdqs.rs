@@ -20,7 +20,7 @@
 use quantmcu_tensor::Bitwidth;
 
 use crate::error::QuantError;
-use crate::score::{ScoredCandidate, ScoreTable};
+use crate::score::{ScoreTable, ScoredCandidate};
 
 /// The result of a bitwidth search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,8 +62,7 @@ pub fn determine_bitwidths(
     if n == 0 {
         return Err(QuantError::MalformedInput { detail: "score table is empty" });
     }
-    let sorted: Vec<Vec<ScoredCandidate>> =
-        (0..n).map(|i| table.sorted_candidates(i)).collect();
+    let sorted: Vec<Vec<ScoredCandidate>> = (0..n).map(|i| table.sorted_candidates(i)).collect();
     if sorted.iter().any(Vec::is_empty) {
         return Err(QuantError::MalformedInput { detail: "a feature map has no candidates" });
     }
@@ -101,11 +100,8 @@ fn traverse(
     r: isize,
 ) {
     let n = sorted.len();
-    let idxs: Vec<usize> = if r == 1 {
-        (0..n.saturating_sub(1)).collect()
-    } else {
-        (1..n).collect()
-    };
+    let idxs: Vec<usize> =
+        if r == 1 { (0..n.saturating_sub(1)).collect() } else { (1..n).collect() };
     for i in idxs {
         loop {
             let j = (i as isize + r) as usize; // the map being adjusted
@@ -136,12 +132,9 @@ fn need_change(
 ) -> bool {
     let j = (i as isize + r) as usize;
     let lo = i.min(j);
-    if mem(lo, bits[lo]) + mem(lo + 1, bits[lo + 1]) > budget {
-        if k + 1 < sorted[j].len() && mem(i, bits[i]) <= mem(j, bits[j]) {
-            return true;
-        }
-    }
-    false
+    mem(lo, bits[lo]) + mem(lo + 1, bits[lo + 1]) > budget
+        && k + 1 < sorted[j].len()
+        && mem(i, bits[i]) <= mem(j, bits[j])
 }
 
 /// The smallest possible footprint of pair `(i, i+1)` over all candidates.
@@ -150,9 +143,8 @@ fn min_pair_bytes(
     mem: &impl Fn(usize, Bitwidth) -> usize,
     i: usize,
 ) -> usize {
-    let min_of = |fm: usize| {
-        sorted[fm].iter().map(|c| mem(fm, c.bitwidth)).min().unwrap_or(usize::MAX)
-    };
+    let min_of =
+        |fm: usize| sorted[fm].iter().map(|c| mem(fm, c.bitwidth)).min().unwrap_or(usize::MAX);
     min_of(i).saturating_add(min_of(i + 1))
 }
 

@@ -130,8 +130,6 @@ mod tests {
     fn lower_bitwidth_never_more_accurate() {
         let (t, q8) = sample(Bitwidth::W8);
         let (_, q2) = sample(Bitwidth::W2);
-        assert!(
-            t.mean_abs_diff(&q8.dequantize()) <= t.mean_abs_diff(&q2.dequantize()) + 1e-6
-        );
+        assert!(t.mean_abs_diff(&q8.dequantize()) <= t.mean_abs_diff(&q2.dequantize()) + 1e-6);
     }
 }

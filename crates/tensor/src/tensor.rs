@@ -196,8 +196,7 @@ impl Tensor {
         if self.data.is_empty() {
             return 0.0;
         }
-        let sum: f32 =
-            self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
+        let sum: f32 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
         sum / self.data.len() as f32
     }
 }
@@ -262,8 +261,8 @@ mod tests {
 
     #[test]
     fn argmax_and_top_k() {
-        let t = Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0])
-            .unwrap();
+        let t =
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.1, 0.9, 0.3, 5.0, -1.0, 2.0]).unwrap();
         assert_eq!(t.argmax(0), Some(1));
         assert_eq!(t.argmax(1), Some(0));
         assert_eq!(t.top_k(0, 2), vec![1, 2]);

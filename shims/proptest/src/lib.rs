@@ -1,0 +1,59 @@
+//! Offline stand-in for the subset of the crates.io [`proptest`] API this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real property-testing
+//! framework cannot be pulled in. This shim keeps the workspace's
+//! `proptest!` test suites source-compatible and genuinely random
+//! (deterministically seeded per test): every case draws fresh inputs from
+//! the declared strategies and failures report the drawn values. What it
+//! deliberately does **not** do is shrinking — a failing case is reported
+//! as drawn, not minimized — and persistence of failing seeds.
+//!
+//! Supported surface: [`Strategy`] (ranges over the primitive numeric
+//! types, [`Just`], unions via [`prop_oneof!`], `prop::collection::vec`,
+//! `prop::sample::select`), [`ProptestConfig`], the [`proptest!`] macro
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod strategy;
+
+pub mod test_runner;
+
+// The `proptest!` macro expands to code that seeds a `StdRng`; consumers
+// of this shim do not themselves depend on `rand`, so the macro reaches it
+// through `$crate::rand`.
+#[doc(hidden)]
+pub use rand;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy choosing uniformly among the given values.
+    pub fn select<T: Clone + core::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select { values }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

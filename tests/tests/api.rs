@@ -1,0 +1,63 @@
+//! Workspace-surface tests: the `quantmcu::` re-export facade must expose
+//! every type a downstream user needs without reaching into the subsystem
+//! crates. A failure here means a crate manifest or `pub use` regressed,
+//! even if the subsystem crates themselves still pass their own tests.
+
+use quantmcu::data::metrics::agreement_top1;
+use quantmcu::mcusim::Device;
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::tensor::Bitwidth;
+use quantmcu::{Deployment, DeploymentPlan, PlanError, Planner, QuantMcuConfig};
+use quantmcu_integration::{calib, eval, graph};
+
+/// Every facade path named in the public quickstart resolves and composes:
+/// plan through `quantmcu::Planner`, wrap in `quantmcu::Deployment`,
+/// measure with `quantmcu::data::metrics::agreement_top1`.
+#[test]
+fn facade_exposes_the_full_pipeline() {
+    let g = graph(Model::McuNet);
+    let planner: Planner = Planner::new(QuantMcuConfig::default());
+    let plan: DeploymentPlan = planner.plan(&g, &calib(4), 16 * 1024).unwrap();
+    let deployment: Deployment<'_> = Deployment::new(&g, plan).unwrap();
+    let inputs = eval(4);
+    let quant = deployment.run_batch(&inputs).unwrap();
+    let float: Vec<_> =
+        inputs.iter().map(|x| quantmcu::nn::exec::FloatExecutor::new(&g).run(x).unwrap()).collect();
+    let agreement = agreement_top1(&float, &quant);
+    assert!((0.0..=1.0).contains(&agreement));
+}
+
+/// The subsystem re-export modules expose their headline types under the
+/// names the documentation promises.
+#[test]
+fn facade_reexports_subsystem_types() {
+    // quantmcu::tensor
+    assert_eq!(Bitwidth::W8.bits(), 8);
+    assert!(Bitwidth::SEARCH_CANDIDATES.contains(&Bitwidth::W2));
+    // quantmcu::mcusim
+    let [nano, stm] = Device::table1_platforms();
+    assert!(nano.sram_bytes < stm.sram_bytes);
+    // quantmcu::models
+    let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale()).unwrap();
+    assert!(!spec.is_empty());
+    // quantmcu::nn / quantmcu::patch compose across crate boundaries.
+    let plan = quantmcu::patch::PatchPlan::new(&spec, 3, 2, 2).unwrap();
+    assert_eq!(plan.branch_count(), 4);
+    // quantmcu::quant
+    let cfg = quantmcu::quant::VdqsConfig::default();
+    assert!(cfg.lambda > 0.0 && cfg.lambda < 1.0);
+}
+
+/// Error types unify at the facade: subsystem failures surface as
+/// `quantmcu::PlanError` through the planner, so downstream `?` works with
+/// one error type.
+#[test]
+fn facade_unifies_errors() {
+    let g = graph(Model::MobileNetV2);
+    // An absurdly small SRAM budget must fail with a PlanError, not panic.
+    let result: Result<DeploymentPlan, PlanError> =
+        Planner::new(QuantMcuConfig::default()).plan(&g, &calib(2), 8);
+    assert!(result.is_err());
+    let message = result.unwrap_err().to_string();
+    assert!(!message.is_empty());
+}

@@ -32,10 +32,7 @@ fn quantmcu_latency_beats_uniform_8bit_patching() {
     let uniform = planner.plan_uniform(&g, &calib(6), Bitwidth::W8, SRAM).unwrap();
     let t_quant = quant.latency(&device).unwrap();
     let t_uniform = uniform.latency(&device).unwrap();
-    assert!(
-        t_quant < t_uniform,
-        "quantized {t_quant:?} should beat uniform {t_uniform:?}"
-    );
+    assert!(t_quant < t_uniform, "quantized {t_quant:?} should beat uniform {t_uniform:?}");
 }
 
 #[test]
@@ -60,8 +57,7 @@ fn deployed_accuracy_stays_close_to_float() {
     let inputs = eval(24);
     let quant = deployment.run_batch(&inputs).unwrap();
     let float_exec = FloatExecutor::new(&g);
-    let float: Vec<Tensor> =
-        inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
+    let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = agreement_top1(&float, &quant);
     assert!(fidelity >= 0.8, "fidelity {fidelity}");
 }
@@ -71,11 +67,7 @@ fn search_finishes_in_seconds_not_minutes() {
     // Table II's claim: the search costs ~0.5 min where RL takes 90.
     let g = graph(Model::MobileNetV2);
     let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(6), SRAM).unwrap();
-    assert!(
-        plan.search_time.as_secs_f64() < 60.0,
-        "search took {:?}",
-        plan.search_time
-    );
+    assert!(plan.search_time.as_secs_f64() < 60.0, "search took {:?}", plan.search_time);
 }
 
 #[test]
@@ -97,8 +89,7 @@ fn ablation_never_beats_protected_plan_on_fidelity() {
     let g = graph(Model::MobileNetV2);
     let inputs = eval(24);
     let float_exec = FloatExecutor::new(&g);
-    let float: Vec<Tensor> =
-        inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
+    let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = |cfg: QuantMcuConfig| {
         let plan = Planner::new(cfg).plan(&g, &calib(6), SRAM).unwrap();
         let dep = Deployment::new(&g, plan).unwrap();
@@ -109,8 +100,5 @@ fn ablation_never_beats_protected_plan_on_fidelity() {
     // With 24 evaluation images each flip is ~4 points, so allow sampling
     // noise; what must never happen is the ablation being *substantially*
     // safer than the protected plan.
-    assert!(
-        protected + 0.1 >= ablated,
-        "VDPC {protected} vs ablation {ablated}"
-    );
+    assert!(protected + 0.1 >= ablated, "VDPC {protected} vs ablation {ablated}");
 }

@@ -105,15 +105,9 @@ fn layer_latency_scales_with_clock_and_assignment() {
     let g = concat_graph();
     let spec = g.spec();
     let model = LatencyModel::new(Device::nano33_ble_sense());
-    let t8 = model.layer_based(
-        spec,
-        &BitwidthAssignment::uniform(spec, Bitwidth::W8),
-        Bitwidth::W8,
-    );
-    let t4 = model.layer_based(
-        spec,
-        &BitwidthAssignment::uniform(spec, Bitwidth::W4),
-        Bitwidth::W8,
-    );
+    let t8 =
+        model.layer_based(spec, &BitwidthAssignment::uniform(spec, Bitwidth::W8), Bitwidth::W8);
+    let t4 =
+        model.layer_based(spec, &BitwidthAssignment::uniform(spec, Bitwidth::W4), Bitwidth::W8);
     assert!(t4 < t8, "4-bit activations must be faster: {t4:?} vs {t8:?}");
 }
