@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use quantmcu::nn::exec::{calibrate_ranges, FloatExecutor, QuantExecutor};
+use quantmcu::nn::kernels::{self, naive, FloatDot};
 use quantmcu::nn::{init, Graph, GraphSpecBuilder};
 use quantmcu::quant::entropy;
 use quantmcu::tensor::{pack, Bitwidth, Shape, Tensor};
@@ -38,12 +39,12 @@ fn executors(c: &mut Criterion) {
     let mut group = c.benchmark_group("executor");
     group.sample_size(20);
     group.bench_function("float", |b| {
-        let exec = FloatExecutor::new(&graph);
+        let mut exec = FloatExecutor::new(&graph);
         b.iter(|| exec.run(&x).expect("run"))
     });
     for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
         let act = vec![bits; graph.spec().feature_map_count()];
-        let qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8).expect("exec");
+        let mut qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8).expect("exec");
         group.bench_with_input(BenchmarkId::new("quant", bits), &bits, |b, _| {
             b.iter(|| qe.run(&x).expect("run"))
         });
@@ -78,5 +79,90 @@ fn entropy_estimator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, executors, packing, entropy_estimator);
+/// Blocked vs naive kernels on the acceptance layer: a 32×32×32 feature
+/// map through a 32-filter 3×3 convolution (plus the depthwise and dense
+/// counterparts). The blocked kernels must be ≥2× faster than the
+/// pre-refactor naive loop nests they replaced.
+fn blocked_vs_naive(c: &mut Criterion) {
+    let shape = Shape::hwc(32, 32, 32);
+    let input = Tensor::from_fn(shape, |i| ((i as f32) * 0.13).sin());
+    let varied = |len: usize, seed: u64| -> Vec<f32> {
+        (0..len).map(|i| (((i as u64 ^ seed) as f32) * 0.07).sin() * 0.5).collect()
+    };
+
+    let mut group = c.benchmark_group("conv2d_32x32x32");
+    group.sample_size(20);
+    let (oc, k) = (32, 3);
+    let weights = varied(oc * k * k * shape.c, 3);
+    let bias = varied(oc, 5);
+    group.bench_function("naive", |b| {
+        b.iter(|| naive::conv2d(&input, &weights, &bias, oc, k, 1, 1))
+    });
+    group.bench_function("blocked", |b| {
+        let mut out = vec![0.0f32; 32 * 32 * oc];
+        b.iter(|| {
+            kernels::conv2d(
+                &FloatDot { weights: &weights, bias: &bias },
+                input.data(),
+                shape,
+                &mut out,
+                oc,
+                k,
+                1,
+                1,
+                shape.full_region(),
+            );
+            out[0]
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dwconv_32x32x32");
+    group.sample_size(20);
+    let dw_weights = varied(k * k * shape.c, 7);
+    let dw_bias = varied(shape.c, 9);
+    group.bench_function("naive", |b| {
+        b.iter(|| naive::dwconv(&input, &dw_weights, &dw_bias, k, 1, 1))
+    });
+    group.bench_function("blocked", |b| {
+        let mut out = vec![0.0f32; shape.len()];
+        b.iter(|| {
+            kernels::dwconv(
+                &FloatDot { weights: &dw_weights, bias: &dw_bias },
+                input.data(),
+                shape,
+                &mut out,
+                k,
+                1,
+                1,
+                shape.full_region(),
+            );
+            out[0]
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dense_32768x64");
+    group.sample_size(20);
+    let out_f = 64;
+    let d_weights = varied(out_f * shape.len(), 11);
+    let d_bias = varied(out_f, 13);
+    group.bench_function("naive", |b| b.iter(|| naive::dense(&input, &d_weights, &d_bias, out_f)));
+    group.bench_function("blocked", |b| {
+        let mut out = vec![0.0f32; out_f];
+        b.iter(|| {
+            kernels::dense(
+                &FloatDot { weights: &d_weights, bias: &d_bias },
+                input.data(),
+                shape,
+                &mut out,
+                out_f,
+            );
+            out[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, executors, packing, entropy_estimator, blocked_vs_naive);
 criterion_main!(benches);

@@ -29,7 +29,7 @@ fn patch_vs_layer(c: &mut Criterion) {
     let mut group = c.benchmark_group("patch_engine");
     group.sample_size(20);
     group.bench_function("layer_based", |b| {
-        let exec = FloatExecutor::new(&g);
+        let mut exec = FloatExecutor::new(&g);
         b.iter(|| exec.run(&x).expect("run"))
     });
     for grid in [2usize, 3, 4] {

@@ -15,12 +15,16 @@ fn main() {
     let graph = exec_graph(Model::ResNet18);
     let ds = ClassificationDataset::new(32, 10, SEED);
     let inputs = calibration(&ds);
-    let exec = FloatExecutor::new(&graph);
+    let mut exec = FloatExecutor::new(&graph);
     // Feature map 1 = the output of the first convolution.
     let mut values = Vec::new();
     for input in &inputs {
-        let trace = exec.run_trace(input).expect("trace");
-        values.extend_from_slice(trace[1].data());
+        exec.run_with(input, |fm, t| {
+            if fm.0 == 1 {
+                values.extend_from_slice(t.data());
+            }
+        })
+        .expect("trace");
     }
 
     println!("Fig 2a: ResNet18 first-layer activation distribution ({} values)\n", values.len());

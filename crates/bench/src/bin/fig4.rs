@@ -107,11 +107,11 @@ fn detection_cross_check() {
     let scenes = ds.batch(8);
     let inputs: Vec<_> = scenes.iter().map(|s| s.image.clone()).collect();
     let ranges = calibrate_ranges(&graph, &inputs[..2]).expect("calibrate");
-    let float_exec = FloatExecutor::new(&graph);
+    let mut float_exec = FloatExecutor::new(&graph);
 
     for bits in [Bitwidth::W8, Bitwidth::W4] {
         let act_bits = vec![bits; graph.spec().feature_map_count()];
-        let qe = QuantExecutor::new(&graph, &ranges, &act_bits, Bitwidth::W8).expect("exec");
+        let mut qe = QuantExecutor::new(&graph, &ranges, &act_bits, Bitwidth::W8).expect("exec");
         let mut float_dets = Vec::new();
         let mut quant_dets = Vec::new();
         for input in &inputs {

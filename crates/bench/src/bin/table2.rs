@@ -103,12 +103,10 @@ fn main() {
 fn run_vdqs(graph: &Graph, calib: &[Tensor], sram: usize) -> BitwidthAssignment {
     let spec = graph.spec();
     let cfg = VdqsConfig::paper();
-    let exec = FloatExecutor::new(graph);
+    let mut exec = FloatExecutor::new(graph);
     let mut fm_values: Vec<Vec<f32>> = vec![Vec::new(); spec.feature_map_count()];
     for input in calib {
-        for (fm, t) in exec.run_trace(input).expect("trace").into_iter().enumerate() {
-            fm_values[fm].extend_from_slice(t.data());
-        }
+        exec.run_with(input, |fm, t| fm_values[fm.0].extend_from_slice(t.data())).expect("trace");
     }
     let et = entropy::build_table(&fm_values, &cfg.candidates, cfg.hist_bins).expect("entropy");
     let reference =
@@ -134,14 +132,14 @@ fn report(
     measured: Option<std::time::Duration>,
 ) {
     let spec = graph.spec();
-    let qe = QuantExecutor::new(
+    let mut qe = QuantExecutor::new(
         graph,
         &outcome.ranges,
         outcome.assignment.as_slice(),
         outcome.weight_bits,
     )
     .expect("executor");
-    let float_exec = FloatExecutor::new(graph);
+    let mut float_exec = FloatExecutor::new(graph);
     let float: Vec<Tensor> = eval.iter().map(|t| float_exec.run(t).expect("float")).collect();
     let quant: Vec<Tensor> = eval.iter().map(|t| qe.run(t).expect("quant")).collect();
     let fidelity = agreement_top1(&float, &quant);

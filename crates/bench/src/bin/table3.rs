@@ -20,7 +20,7 @@ fn main() {
     let ds = exec_dataset();
     let calib = calibration(&ds);
     let eval = evaluation(&ds);
-    let float_exec = FloatExecutor::new(&graph);
+    let mut float_exec = FloatExecutor::new(&graph);
     let float: Vec<Tensor> = eval.iter().map(|t| float_exec.run(t).expect("float")).collect();
 
     println!("Table III: impact of lambda on QuantMCU (MobileNetV2, ImageNet proxy)\n");

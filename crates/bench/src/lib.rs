@@ -68,7 +68,7 @@ pub fn deployment_fidelity(
 ) -> Result<f64, PlanError> {
     let deployment = Deployment::new(graph, plan)?;
     let quant = deployment.run_batch(inputs)?;
-    let float_exec = FloatExecutor::new(graph);
+    let mut float_exec = FloatExecutor::new(graph);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
     Ok(agreement_top1(&float, &quant))
 }

@@ -20,12 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calib = ClassificationDataset::new(32, 10, 5).images(6);
 
     // Collect per-feature-map values from the float trace.
-    let exec = FloatExecutor::new(&graph);
+    let mut exec = FloatExecutor::new(&graph);
     let mut fm_values: Vec<Vec<f32>> = vec![Vec::new(); spec.feature_map_count()];
     for input in &calib {
-        for (fm, t) in exec.run_trace(input)?.into_iter().enumerate() {
-            fm_values[fm].extend_from_slice(t.data());
-        }
+        exec.run_with(input, |fm, t| fm_values[fm.0].extend_from_slice(t.data()))?;
     }
     let elems: Vec<usize> =
         spec.feature_map_ids().map(|id| spec.feature_map_shape(id).len()).collect();

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let labels: Vec<usize> = eval.iter().map(|(_, l)| *l).collect();
 
     // Float reference.
-    let float_exec = FloatExecutor::new(&graph);
+    let mut float_exec = FloatExecutor::new(&graph);
     let float_out: Vec<Tensor> =
         images.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
     println!(

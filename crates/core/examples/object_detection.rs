@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Float detections (the untrained detector's boxes are not meaningful
     // against ground truth; what matters is the float-vs-quantized
     // fidelity, measured as cross-mAP below).
-    let float_exec = FloatExecutor::new(&graph);
+    let mut float_exec = FloatExecutor::new(&graph);
     let float_dets: Vec<_> = images
         .iter()
         .map(|img| {
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
         let act = vec![bits; graph.spec().feature_map_count()];
-        let qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8)?;
+        let mut qe = QuantExecutor::new(&graph, &ranges, &act, Bitwidth::W8)?;
         let quant_dets: Vec<_> = images
             .iter()
             .map(|img| {

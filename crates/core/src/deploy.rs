@@ -71,7 +71,7 @@ impl<'g> Deployment<'g> {
     ///
     /// Returns the first input's error, if any.
     pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PlanError> {
-        let tail_exec = QuantExecutor::new(
+        let mut tail_exec = QuantExecutor::new(
             &self.tail_graph,
             &self.plan.tail_ranges,
             &self.plan.tail_bits,
@@ -125,7 +125,7 @@ mod tests {
         let dep = Deployment::new(&g, plan).unwrap();
         let test = inputs(8);
         let quant_outs = dep.run_batch(&test).unwrap();
-        let float_exec = FloatExecutor::new(&g);
+        let mut float_exec = FloatExecutor::new(&g);
         let mut agree = 0;
         for (input, q) in test.iter().zip(&quant_outs) {
             let f = float_exec.run(input).unwrap();
@@ -144,8 +144,8 @@ mod tests {
         let g = graph();
         let calib = inputs(4);
         let test = inputs(10);
-        let float_exec = FloatExecutor::new(&g);
-        let fidelity = |cfg: QuantMcuConfig| -> usize {
+        let mut float_exec = FloatExecutor::new(&g);
+        let mut fidelity = |cfg: QuantMcuConfig| -> usize {
             let plan = Planner::new(cfg).plan(&g, &calib, 256 * 1024).unwrap();
             let dep = Deployment::new(&g, plan).unwrap();
             test.iter()

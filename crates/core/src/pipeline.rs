@@ -6,7 +6,7 @@ use quantmcu_patch::{Branch, PatchPlan};
 use quantmcu_quant::score::ScoreTable;
 use quantmcu_quant::vdpc::{PatchClass, VdpcClassifier};
 use quantmcu_quant::{entropy, vdqs};
-use quantmcu_tensor::{Bitwidth, Tensor};
+use quantmcu_tensor::{Bitwidth, Region, Tensor};
 
 use crate::config::QuantMcuConfig;
 use crate::error::PlanError;
@@ -46,27 +46,18 @@ impl Planner {
         calibration: &[Tensor],
         sram_bytes: usize,
     ) -> Result<DeploymentPlan, PlanError> {
-        if calibration.is_empty() {
-            return Err(PlanError::NoCalibration);
-        }
         let start = Instant::now();
-        let spec = graph.spec().clone();
-        let patch_plan = PatchPlan::fitted(&spec, self.cfg.grid, sram_bytes)?;
-        let split = patch_plan.split_at();
-        let (head, tail) = spec.split_at(split)?;
-        let branches = Branch::build_all(&spec, &patch_plan);
-
-        // Calibration traces: one float trace per calibration input.
-        let exec = FloatExecutor::new(graph);
-        let traces: Vec<Vec<Tensor>> =
-            calibration.iter().map(|t| exec.run_trace(t)).collect::<Result<_, _>>()?;
+        let Prologue { spec, patch_plan, head, tail, branches, branch_values, tail_values } =
+            self.prologue(graph, calibration, sram_bytes)?;
 
         // ---- VDPC: classify the split feature map's patches (Fig. 3):
         // a patch of the *input* feature map containing an outlier value
         // sends its whole dataflow branch to 8-bit. The Gaussian is fitted
-        // on the full input feature map across the calibration set.
+        // on the full input feature map across the calibration set — the
+        // input feature map *is* the calibration image, so no trace is
+        // needed here.
         let input_values: Vec<f32> =
-            traces.iter().flat_map(|tr| tr[0].data().iter().copied()).collect();
+            calibration.iter().flat_map(|t| t.data().iter().copied()).collect();
         // Classification looks at the *non-overlapping input tiles* (the
         // "patches" of Fig. 3), not the halo-expanded regions branches
         // read — halos of a deep stage cover most of the image and would
@@ -82,8 +73,8 @@ impl Planner {
                 .into_iter()
                 .map(|tile| {
                     let mut flagged = 0usize;
-                    for tr in &traces {
-                        let crop = tr[0].crop(tile)?;
+                    for image in calibration {
+                        let crop = image.crop(tile)?;
                         if clf.classify_values(crop.data()) == PatchClass::Outlier {
                             flagged += 1;
                         }
@@ -100,8 +91,8 @@ impl Planner {
         // BitOPs (see `quantmcu_quant::score` for why).
         let mut branch_bits = Vec::with_capacity(branches.len());
         let mut branch_ranges = Vec::with_capacity(branches.len());
-        for (branch, class) in branches.iter().zip(&patch_classes) {
-            let fm_values = branch_feature_values(&traces, branch)?;
+        for ((branch, class), fm_values) in branches.iter().zip(&patch_classes).zip(&branch_values)
+        {
             let ranges: Vec<(f32, f32)> = fm_values.iter().map(|v| min_max(v)).collect();
             let bits = if *class == PatchClass::Outlier {
                 vec![Bitwidth::W8; head.len() + 1]
@@ -110,7 +101,7 @@ impl Planner {
                     * self.cfg.weight_bits.bits() as u64
                     * Bitwidth::W8.bits() as u64)
                     .max(1);
-                self.search_branch(&head, branch, &fm_values, branch_ref_bitops, sram_bytes)?
+                self.search_branch(&head, branch, fm_values, branch_ref_bitops, sram_bytes)?
             };
             branch_ranges.push(ranges);
             branch_bits.push(bits);
@@ -122,9 +113,7 @@ impl Planner {
         // stretched by rare outlier responses would waste the whole
         // sub-byte grid on empty tail space — the accuracy collapse mode
         // of naive post-merge quantization.
-        let tail_fm_values: Vec<Vec<f32>> = (0..tail.feature_map_count())
-            .map(|j| traces.iter().flat_map(|tr| tr[split + j].data().iter().copied()).collect())
-            .collect();
+        let tail_fm_values = tail_values;
         let tail_ranges: Vec<(f32, f32)> =
             tail_fm_values.iter().map(|v| clipped_range(v)).collect();
         // Entropy must be estimated on the values the deployment will
@@ -181,30 +170,14 @@ impl Planner {
         bits: Bitwidth,
         sram_bytes: usize,
     ) -> Result<DeploymentPlan, PlanError> {
-        if calibration.is_empty() {
-            return Err(PlanError::NoCalibration);
-        }
         let start = Instant::now();
-        let spec = graph.spec().clone();
-        let patch_plan = PatchPlan::fitted(&spec, self.cfg.grid, sram_bytes)?;
-        let split = patch_plan.split_at();
-        let (head, tail) = spec.split_at(split)?;
-        let branches = Branch::build_all(&spec, &patch_plan);
-        let exec = FloatExecutor::new(graph);
-        let traces: Vec<Vec<Tensor>> =
-            calibration.iter().map(|t| exec.run_trace(t)).collect::<Result<_, _>>()?;
-        let mut branch_ranges = Vec::with_capacity(branches.len());
-        for branch in &branches {
-            let fm_values = branch_feature_values(&traces, branch)?;
-            branch_ranges.push(fm_values.iter().map(|v| min_max(v)).collect());
-        }
-        let tail_ranges: Vec<(f32, f32)> = (0..tail.feature_map_count())
-            .map(|j| {
-                let values: Vec<f32> =
-                    traces.iter().flat_map(|tr| tr[split + j].data().iter().copied()).collect();
-                min_max(&values)
-            })
+        let Prologue { spec, patch_plan, head, tail, branches, branch_values, tail_values } =
+            self.prologue(graph, calibration, sram_bytes)?;
+        let branch_ranges = branch_values
+            .iter()
+            .map(|fm_values| fm_values.iter().map(|v| min_max(v)).collect())
             .collect();
+        let tail_ranges: Vec<(f32, f32)> = tail_values.iter().map(|v| min_max(v)).collect();
         Ok(DeploymentPlan {
             patch_classes: vec![PatchClass::NonOutlier; branches.len()],
             branch_bits: vec![vec![bits; head.len() + 1]; branches.len()],
@@ -217,6 +190,53 @@ impl Planner {
             patch_plan,
             branches,
         })
+    }
+
+    /// The shared planning prologue: patch fit, split, branch
+    /// construction, and one streaming calibration pass accumulating
+    /// per-feature-map value samples for every branch region and every
+    /// tail map. Feature maps are recycled as soon as their samples have
+    /// been extracted — no full trace is ever materialized.
+    fn prologue(
+        &self,
+        graph: &Graph,
+        calibration: &[Tensor],
+        sram_bytes: usize,
+    ) -> Result<Prologue, PlanError> {
+        if calibration.is_empty() {
+            return Err(PlanError::NoCalibration);
+        }
+        let spec = graph.spec().clone();
+        let patch_plan = PatchPlan::fitted(&spec, self.cfg.grid, sram_bytes)?;
+        let split = patch_plan.split_at();
+        let (head, tail) = spec.split_at(split)?;
+        let branches = Branch::build_all(&spec, &patch_plan);
+        // Validate every branch region up front so the streaming observer
+        // below is infallible.
+        for branch in &branches {
+            for (i, region) in branch.regions().iter().enumerate() {
+                let shape = if i == 0 { spec.input_shape() } else { spec.node_shape(i - 1) };
+                region.check_within(shape.h, shape.w)?;
+            }
+        }
+        let mut branch_values: Vec<Vec<Vec<f32>>> =
+            vec![vec![Vec::new(); split + 1]; branches.len()];
+        let mut tail_values: Vec<Vec<f32>> = vec![Vec::new(); tail.feature_map_count()];
+        let mut exec = FloatExecutor::new(graph);
+        for input in calibration {
+            exec.run_with(input, |fm, t| {
+                let g = fm.0;
+                if g <= split {
+                    for (values, branch) in branch_values.iter_mut().zip(&branches) {
+                        extend_region_values(&mut values[g], t, branch.regions()[g]);
+                    }
+                }
+                if g >= split {
+                    tail_values[g - split].extend_from_slice(t.data());
+                }
+            })?;
+        }
+        Ok(Prologue { spec, patch_plan, head, tail, branches, branch_values, tail_values })
     }
 
     /// VDQS over one non-outlier branch: score table from region-restricted
@@ -322,9 +342,15 @@ fn clipped_range(values: &[f32]) -> (f32, f32) {
         return min_max(values);
     }
     // Subsample for the sort; percentiles of 65k values are plenty stable.
+    // NaN values are dropped — they carry no range information and break
+    // the sort's total order.
     let stride = (values.len() / 65_536).max(1);
-    let mut sample: Vec<f32> = values.iter().step_by(stride).copied().collect();
-    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut sample: Vec<f32> =
+        values.iter().step_by(stride).copied().filter(|v| !v.is_nan()).collect();
+    if sample.is_empty() {
+        return min_max(values);
+    }
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered above"));
     let lo = sample[(sample.len() as f64 * 0.001) as usize];
     let hi = sample[((sample.len() as f64 * 0.999) as usize).min(sample.len() - 1)];
     if lo < hi {
@@ -334,28 +360,45 @@ fn clipped_range(values: &[f32]) -> (f32, f32) {
     }
 }
 
-/// Region-restricted values of every branch feature map, concatenated over
-/// the calibration traces.
-fn branch_feature_values(
-    traces: &[Vec<Tensor>],
-    branch: &Branch,
-) -> Result<Vec<Vec<f32>>, PlanError> {
-    let regions = branch.regions();
-    let mut out = Vec::with_capacity(regions.len());
-    for (i, &region) in regions.iter().enumerate() {
-        let mut values = Vec::new();
-        for tr in traces {
-            values.extend_from_slice(tr[i].crop(region)?.data());
-        }
-        out.push(values);
-    }
-    Ok(out)
+/// The shared planning prologue's output: the split graph, branches, and
+/// the calibration value samples accumulated by the streaming pass.
+struct Prologue {
+    spec: GraphSpec,
+    patch_plan: PatchPlan,
+    head: GraphSpec,
+    tail: GraphSpec,
+    branches: Vec<Branch>,
+    /// Per branch, per head feature map (input first, stage output last):
+    /// the region-restricted values over the calibration set.
+    branch_values: Vec<Vec<Vec<f32>>>,
+    /// Per tail feature map: the full-map values over the calibration set.
+    tail_values: Vec<Vec<f32>>,
 }
 
+/// Appends the values of `region` (all batch items and channels) of `t`
+/// to `values` without materializing a crop. The region must fit inside
+/// the map (validated by the prologue).
+fn extend_region_values(values: &mut Vec<f32>, t: &Tensor, region: Region) {
+    let s = t.shape();
+    let run = region.w * s.c;
+    for n in 0..s.n {
+        for y in region.y..region.y_end() {
+            let start = s.index(n, y, region.x, 0);
+            values.extend_from_slice(&t.data()[start..start + run]);
+        }
+    }
+}
+
+/// The min/max of a sample, skipping NaN values (a single NaN produced by
+/// a degenerate calibration image must not poison the range). All-NaN or
+/// empty samples fall back to `(0.0, 1.0)`.
 fn min_max(values: &[f32]) -> (f32, f32) {
     let mut lo = f32::INFINITY;
     let mut hi = f32::NEG_INFINITY;
     for &v in values {
+        if v.is_nan() {
+            continue;
+        }
         lo = lo.min(v);
         hi = hi.max(v);
     }
@@ -463,6 +506,30 @@ mod tests {
         assert!(plan.latency(&dev).unwrap() > std::time::Duration::ZERO);
         assert!(plan.mean_branch_bits() >= 2.0 && plan.mean_branch_bits() <= 8.0);
         assert_eq!(plan.branch_bits.len(), plan.patch_plan().branch_count());
+    }
+
+    #[test]
+    fn min_max_skips_nan_values() {
+        assert_eq!(min_max(&[1.0, f32::NAN, 3.0, -2.0]), (-2.0, 3.0));
+        assert_eq!(min_max(&[f32::NAN, 5.0]), (5.0, 5.0));
+        // All-NaN and empty samples fall back to the unit range.
+        assert_eq!(min_max(&[f32::NAN, f32::NAN]), (0.0, 1.0));
+        assert_eq!(min_max(&[]), (0.0, 1.0));
+    }
+
+    #[test]
+    fn nan_in_calibration_does_not_poison_branch_ranges() {
+        let g = graph();
+        let mut images = calib(3);
+        // Inject a NaN into one calibration image; the plan must still
+        // come out with finite, non-degenerate ranges.
+        images[0].data_mut()[7] = f32::NAN;
+        let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &images, 256 * 1024).unwrap();
+        for ranges in &plan.branch_ranges {
+            for &(lo, hi) in ranges {
+                assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,21 @@
-use quantmcu_tensor::{Shape, Tensor};
+use quantmcu_tensor::{Arena, Tensor};
 
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::spec::{OpSpec, Source};
+use crate::kernels::{self, FloatDot};
+use crate::spec::{FeatureMapId, OpSpec, Source};
 
 /// Full-precision reference executor.
+///
+/// Feature maps live in an executor-owned [`Arena`]: each map's buffer is
+/// taken when its producer fires and returned once its last consumer has
+/// run (the liveness schedule is derived from
+/// [`GraphSpec::consumers_of`](crate::GraphSpec::consumers_of) at
+/// construction). After a warm-up inference the steady state performs
+/// zero heap allocations — [`FloatExecutor::run_with`] streams each
+/// feature map to an observer without materializing a trace, and
+/// [`FloatExecutor::run`]'s only steady-state allocation is the returned
+/// tensor's buffer.
 ///
 /// # Example
 ///
@@ -21,12 +32,25 @@ use crate::spec::{OpSpec, Source};
 #[derive(Debug)]
 pub struct FloatExecutor<'g> {
     graph: &'g Graph,
+    arena: Arena<f32>,
+    /// Live feature maps, indexed by [`FeatureMapId`].
+    slots: Vec<Option<Tensor>>,
+    /// Feature maps whose last consumer is node `i`, releasable once it
+    /// has fired.
+    release_after: Vec<Vec<usize>>,
 }
 
 impl<'g> FloatExecutor<'g> {
-    /// Creates an executor over `graph`.
+    /// Creates an executor over `graph`, computing the feature-map
+    /// liveness schedule.
     pub fn new(graph: &'g Graph) -> Self {
-        FloatExecutor { graph }
+        let spec = graph.spec();
+        FloatExecutor {
+            graph,
+            arena: Arena::new(),
+            slots: (0..spec.feature_map_count()).map(|_| None).collect(),
+            release_after: super::release_schedule(spec),
+        }
     }
 
     /// Runs the graph, returning the final feature map.
@@ -35,258 +59,164 @@ impl<'g> FloatExecutor<'g> {
     ///
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
-    pub fn run(&self, input: &Tensor) -> Result<Tensor, GraphError> {
-        let trace = self.run_trace(input)?;
-        Ok(trace.into_iter().last().expect("trace contains at least the input"))
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, GraphError> {
+        self.execute(input, |_, _| {})?;
+        let last = self.graph.spec().feature_map_count() - 1;
+        // Copy the final map into an exact-size buffer (the documented one
+        // steady-state allocation) instead of handing out the recycled
+        // arena buffer, which may be oversized and would drain the pool.
+        let out = {
+            let t = self.slots[last].as_ref().expect("final feature map is never released early");
+            Tensor::from_vec(t.shape(), t.data().to_vec()).expect("lengths match")
+        };
+        self.release_all();
+        Ok(out)
     }
 
-    /// Runs the graph, returning every feature map: index 0 is the input,
-    /// index `i + 1` the output of node `i` (matching
-    /// [`FeatureMapId`](crate::FeatureMapId) numbering).
+    /// Runs the graph, streaming every feature map to `observer` as it is
+    /// produced: index 0 is the input, index `i + 1` the output of node
+    /// `i` (matching [`FeatureMapId`] numbering). Each map's buffer is
+    /// recycled once its last consumer has fired, so at any instant only
+    /// the live maps exist — this is the zero-allocation path calibration
+    /// uses to avoid materializing full traces.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
-    pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+    pub fn run_with(
+        &mut self,
+        input: &Tensor,
+        observer: impl FnMut(FeatureMapId, &Tensor),
+    ) -> Result<(), GraphError> {
+        self.execute(input, observer)?;
+        self.release_all();
+        Ok(())
+    }
+
+    /// Runs the graph, returning every feature map as an owned trace.
+    ///
+    /// Prefer [`FloatExecutor::run_with`] when the maps can be consumed
+    /// incrementally; this method clones each map and is kept for callers
+    /// that genuinely need the whole trace at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run_trace(&mut self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+        let mut trace = Vec::with_capacity(self.graph.spec().feature_map_count());
+        self.run_with(input, |_, t| trace.push(t.clone()))?;
+        Ok(trace)
+    }
+
+    /// Warm-up allocation count of the executor's arena (stable once every
+    /// feature-map shape has been seen; see [`Arena::fresh_allocations`]).
+    pub fn arena_allocations(&self) -> usize {
+        self.arena.fresh_allocations()
+    }
+
+    /// Core loop: computes every node, yielding maps to `observer` and
+    /// recycling them per the liveness schedule. Leaves unreleased maps
+    /// (at least the final one) in `slots` for the caller.
+    fn execute(
+        &mut self,
+        input: &Tensor,
+        mut observer: impl FnMut(FeatureMapId, &Tensor),
+    ) -> Result<(), GraphError> {
         let spec = self.graph.spec();
         super::check_input(spec, input.shape())?;
-        let mut maps: Vec<Tensor> = Vec::with_capacity(spec.len() + 1);
-        maps.push(input.clone());
-        for (i, node) in spec.nodes().iter().enumerate() {
-            let inputs: Vec<&Tensor> =
-                node.inputs.iter().map(|s| &maps[source_index(*s)]).collect();
-            let out = eval_op(
-                node.op,
-                &inputs,
-                self.graph.params(i).weights(),
-                self.graph.params(i).bias(),
-            );
-            maps.push(out);
+        let mut buf = self.arena.take(input.data().len());
+        buf.copy_from_slice(input.data());
+        self.slots[0] = Some(Tensor::from_vec(input.shape(), buf).expect("arena length matches"));
+        observer(FeatureMapId::INPUT, self.slots[0].as_ref().expect("just stored"));
+        for i in 0..spec.len() {
+            let out_shape = spec.node_shape(i);
+            let mut out = Tensor::from_vec(out_shape, self.arena.take(out_shape.len()))
+                .expect("arena length matches");
+            eval_node(self.graph, &self.slots, i, &mut out);
+            self.slots[i + 1] = Some(out);
+            observer(FeatureMapId::of_node(i), self.slots[i + 1].as_ref().expect("just stored"));
+            for &fm in &self.release_after[i] {
+                if let Some(t) = self.slots[fm].take() {
+                    self.arena.give(t.into_vec());
+                }
+            }
         }
-        Ok(maps)
+        Ok(())
+    }
+
+    /// Returns every still-live feature map buffer to the arena.
+    fn release_all(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(t) = slot.take() {
+                self.arena.give(t.into_vec());
+            }
+        }
     }
 }
 
-fn source_index(s: Source) -> usize {
-    match s {
-        Source::Input => 0,
-        Source::Node(i) => i + 1,
-    }
-}
-
-/// Evaluates one operator in f32.
-pub(crate) fn eval_op(op: OpSpec, inputs: &[&Tensor], weights: &[f32], bias: &[f32]) -> Tensor {
-    match op {
-        OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
-            conv2d(inputs[0], weights, bias, out_ch, kernel, stride, pad)
-        }
+/// Evaluates node `i` into `out`, dispatching to the shared kernel layer.
+fn eval_node(graph: &Graph, slots: &[Option<Tensor>], i: usize, out: &mut Tensor) {
+    let spec = graph.spec();
+    let node = &spec.nodes()[i];
+    let slot = |s: Source| -> &Tensor {
+        slots[super::source_fm(s)].as_ref().expect("liveness schedule keeps inputs alive")
+    };
+    let in0 = slot(node.inputs[0]);
+    let in_shape = in0.shape();
+    let out_shape = out.shape();
+    let region = out_shape.full_region();
+    let dot = FloatDot { weights: graph.params(i).weights(), bias: graph.params(i).bias() };
+    match node.op {
+        OpSpec::Conv2d { out_ch, kernel, stride, pad } => kernels::conv2d(
+            &dot,
+            in0.data(),
+            in_shape,
+            out.data_mut(),
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            region,
+        ),
         OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
-            dwconv(inputs[0], weights, bias, kernel, stride, pad)
+            kernels::dwconv(&dot, in0.data(), in_shape, out.data_mut(), kernel, stride, pad, region)
         }
-        OpSpec::Dense { out } => dense(inputs[0], weights, bias, out),
-        OpSpec::MaxPool { kernel, stride } => pool(inputs[0], kernel, stride, PoolKind::Max),
-        OpSpec::AvgPool { kernel, stride } => pool(inputs[0], kernel, stride, PoolKind::Avg),
-        OpSpec::GlobalAvgPool => global_avg_pool(inputs[0]),
-        OpSpec::Relu => inputs[0].map(|v| v.max(0.0)),
-        OpSpec::Relu6 => inputs[0].map(|v| v.clamp(0.0, 6.0)),
+        OpSpec::Dense { out: out_f } => {
+            kernels::dense(&dot, in0.data(), in_shape, out.data_mut(), out_f)
+        }
+        OpSpec::MaxPool { kernel, stride } => {
+            kernels::max_pool(in0.data(), in_shape, out.data_mut(), kernel, stride, region)
+        }
+        OpSpec::AvgPool { kernel, stride } => {
+            kernels::avg_pool(in0.data(), in_shape, out.data_mut(), kernel, stride, region)
+        }
+        OpSpec::GlobalAvgPool => kernels::global_avg_pool(in0.data(), in_shape, out.data_mut()),
+        OpSpec::Relu => kernels::relu(in0.data(), in_shape, out.data_mut(), f32::INFINITY, region),
+        OpSpec::Relu6 => kernels::relu(in0.data(), in_shape, out.data_mut(), 6.0, region),
         OpSpec::Add => {
-            let (a, b) = (inputs[0], inputs[1]);
-            let mut out = a.clone();
-            for (o, &bv) in out.data_mut().iter_mut().zip(b.data()) {
-                *o += bv;
-            }
-            out
+            kernels::add(in0.data(), slot(node.inputs[1]).data(), out_shape, out.data_mut(), region)
         }
-        OpSpec::Concat => concat(inputs),
+        OpSpec::Concat => kernels::concat(
+            node.inputs.iter().map(|&s| {
+                let t = slot(s);
+                (t.data(), t.shape())
+            }),
+            out.data_mut(),
+            out_shape,
+            region,
+        ),
     }
-}
-
-fn conv2d(
-    input: &Tensor,
-    weights: &[f32],
-    bias: &[f32],
-    out_ch: usize,
-    k: usize,
-    stride: usize,
-    pad: usize,
-) -> Tensor {
-    let is = input.shape();
-    let oh = (is.h + 2 * pad - k) / stride + 1;
-    let ow = (is.w + 2 * pad - k) / stride + 1;
-    let os = Shape::new(is.n, oh, ow, out_ch);
-    let mut out = Tensor::zeros(os);
-    for n in 0..is.n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                for (oc, &b) in bias.iter().enumerate().take(out_ch) {
-                    let mut acc = b;
-                    for ky in 0..k {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
-                        if iy < 0 || iy as usize >= is.h {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * stride + kx) as isize - pad as isize;
-                            if ix < 0 || ix as usize >= is.w {
-                                continue;
-                            }
-                            let in_base = is.index(n, iy as usize, ix as usize, 0);
-                            let w_base = ((oc * k + ky) * k + kx) * is.c;
-                            for ic in 0..is.c {
-                                acc += input.data()[in_base + ic] * weights[w_base + ic];
-                            }
-                        }
-                    }
-                    out.set(n, oy, ox, oc, acc);
-                }
-            }
-        }
-    }
-    out
-}
-
-fn dwconv(
-    input: &Tensor,
-    weights: &[f32],
-    bias: &[f32],
-    k: usize,
-    stride: usize,
-    pad: usize,
-) -> Tensor {
-    let is = input.shape();
-    let oh = (is.h + 2 * pad - k) / stride + 1;
-    let ow = (is.w + 2 * pad - k) / stride + 1;
-    let os = Shape::new(is.n, oh, ow, is.c);
-    let mut out = Tensor::zeros(os);
-    for n in 0..is.n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                for c in 0..is.c {
-                    let mut acc = bias[c];
-                    for ky in 0..k {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
-                        if iy < 0 || iy as usize >= is.h {
-                            continue;
-                        }
-                        for kx in 0..k {
-                            let ix = (ox * stride + kx) as isize - pad as isize;
-                            if ix < 0 || ix as usize >= is.w {
-                                continue;
-                            }
-                            acc += input.at(n, iy as usize, ix as usize, c)
-                                * weights[(ky * k + kx) * is.c + c];
-                        }
-                    }
-                    out.set(n, oy, ox, c, acc);
-                }
-            }
-        }
-    }
-    out
-}
-
-fn dense(input: &Tensor, weights: &[f32], bias: &[f32], out_f: usize) -> Tensor {
-    let is = input.shape();
-    let fan_in = is.per_sample();
-    let os = Shape::new(is.n, 1, 1, out_f);
-    let mut out = Tensor::zeros(os);
-    for n in 0..is.n {
-        let sample = &input.data()[n * fan_in..(n + 1) * fan_in];
-        for o in 0..out_f {
-            let row = &weights[o * fan_in..(o + 1) * fan_in];
-            let acc: f32 = sample.iter().zip(row).map(|(a, w)| a * w).sum();
-            out.set(n, 0, 0, o, acc + bias[o]);
-        }
-    }
-    out
-}
-
-enum PoolKind {
-    Max,
-    Avg,
-}
-
-fn pool(input: &Tensor, k: usize, stride: usize, kind: PoolKind) -> Tensor {
-    let is = input.shape();
-    let oh = (is.h - k) / stride + 1;
-    let ow = (is.w - k) / stride + 1;
-    let os = Shape::new(is.n, oh, ow, is.c);
-    let mut out = Tensor::zeros(os);
-    for n in 0..is.n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                for c in 0..is.c {
-                    let mut acc = match kind {
-                        PoolKind::Max => f32::NEG_INFINITY,
-                        PoolKind::Avg => 0.0,
-                    };
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            let v = input.at(n, oy * stride + ky, ox * stride + kx, c);
-                            match kind {
-                                PoolKind::Max => acc = acc.max(v),
-                                PoolKind::Avg => acc += v,
-                            }
-                        }
-                    }
-                    if let PoolKind::Avg = kind {
-                        acc /= (k * k) as f32;
-                    }
-                    out.set(n, oy, ox, c, acc);
-                }
-            }
-        }
-    }
-    out
-}
-
-fn global_avg_pool(input: &Tensor) -> Tensor {
-    let is = input.shape();
-    let os = Shape::new(is.n, 1, 1, is.c);
-    let mut out = Tensor::zeros(os);
-    let inv = 1.0 / (is.h * is.w) as f32;
-    for n in 0..is.n {
-        for c in 0..is.c {
-            let mut acc = 0.0;
-            for y in 0..is.h {
-                for x in 0..is.w {
-                    acc += input.at(n, y, x, c);
-                }
-            }
-            out.set(n, 0, 0, c, acc * inv);
-        }
-    }
-    out
-}
-
-fn concat(inputs: &[&Tensor]) -> Tensor {
-    let first = inputs[0].shape();
-    let total_c: usize = inputs.iter().map(|t| t.shape().c).sum();
-    let os = Shape::new(first.n, first.h, first.w, total_c);
-    let mut out = Tensor::zeros(os);
-    for n in 0..first.n {
-        for y in 0..first.h {
-            for x in 0..first.w {
-                let mut base = 0;
-                for t in inputs {
-                    for c in 0..t.shape().c {
-                        out.set(n, y, x, base + c, t.at(n, y, x, c));
-                    }
-                    base += t.shape().c;
-                }
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::GraphSpecBuilder;
-    use crate::graph::{Graph, OpParams};
+    use crate::graph::OpParams;
     use crate::init;
+    use quantmcu_tensor::Shape;
 
     /// A 1-channel 3x3 identity convolution (center tap 1).
     fn identity_conv_graph() -> Graph {
@@ -398,5 +328,66 @@ mod tests {
             FloatExecutor::new(&g).run(&bad),
             Err(GraphError::InputShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn streaming_observer_sees_each_map_once_in_order() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(4, 3, 1, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(5)
+            .build()
+            .unwrap();
+        let g = init::with_structured_weights(spec, 9);
+        let mut exec = FloatExecutor::new(&g);
+        let mut seen = Vec::new();
+        exec.run_with(&Tensor::zeros(Shape::hwc(8, 8, 3)), |fm, t| {
+            seen.push((fm.0, t.shape()));
+        })
+        .unwrap();
+        assert_eq!(seen.len(), g.spec().feature_map_count());
+        for (i, (fm, shape)) in seen.iter().enumerate() {
+            assert_eq!(*fm, i);
+            assert_eq!(*shape, g.spec().feature_map_shape(FeatureMapId(i)));
+        }
+    }
+
+    #[test]
+    fn steady_state_runs_reuse_arena_buffers() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(4, 3, 2, 1)
+            .relu6()
+            .pwconv(8)
+            .global_avg_pool()
+            .dense(5)
+            .build()
+            .unwrap();
+        let g = init::with_structured_weights(spec, 4);
+        let input = Tensor::from_fn(Shape::hwc(8, 8, 3), |i| (i as f32 * 0.1).sin());
+        let mut exec = FloatExecutor::new(&g);
+        exec.run_with(&input, |_, _| {}).unwrap();
+        let warm = exec.arena_allocations();
+        for _ in 0..5 {
+            exec.run_with(&input, |_, _| {}).unwrap();
+        }
+        assert_eq!(exec.arena_allocations(), warm, "steady-state runs must not allocate");
+    }
+
+    #[test]
+    fn streaming_and_trace_agree() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(6, 6, 2))
+            .conv2d(3, 3, 1, 1)
+            .relu()
+            .avg_pool(2, 2)
+            .build()
+            .unwrap();
+        let g = init::with_structured_weights(spec, 77);
+        let input = Tensor::from_fn(Shape::hwc(6, 6, 2), |i| (i as f32 * 0.3).cos());
+        let mut exec = FloatExecutor::new(&g);
+        let trace = exec.run_trace(&input).unwrap();
+        let mut streamed = Vec::new();
+        exec.run_with(&input, |_, t| streamed.push(t.clone())).unwrap();
+        assert_eq!(trace, streamed);
     }
 }

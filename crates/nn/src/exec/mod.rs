@@ -1,13 +1,22 @@
 //! Graph executors.
 //!
+//! Both executors are thin drivers over the shared op-kernel layer in
+//! [`crate::kernels`] — one cache-blocked loop nest per operator, generic
+//! over an element/accumulator strategy — and both hold their feature
+//! maps in executor-owned [`Arena`](quantmcu_tensor::Arena)s, recycling
+//! each buffer once the map's last consumer has fired. The streaming
+//! `run_with` path performs zero steady-state heap allocations; plain
+//! `run` adds exactly one — the returned tensor's buffer.
+//!
 //! * [`FloatExecutor`] — the full-precision reference. Besides plain
-//!   inference it can trace every intermediate feature map
-//!   ([`FloatExecutor::run_trace`]), which is what calibration, entropy
-//!   estimation and value-driven patch classification consume.
+//!   inference it can stream every intermediate feature map to an
+//!   observer ([`FloatExecutor::run_with`]), which is what calibration,
+//!   entropy estimation and value-driven patch classification consume
+//!   without materializing full traces.
 //! * [`QuantExecutor`] — an integer executor modeling the CMSIS-NN /
 //!   CMix-NN kernel stack: `i8` activation storage at a per-feature-map
 //!   [`Bitwidth`](quantmcu_tensor::Bitwidth), per-channel 8-bit (or
-//!   narrower) weights, `i32` accumulation, and requantization between
+//!   narrower) weights, `i64` accumulation, and requantization between
 //!   layers. Mixed-precision deployment plans are evaluated by giving each
 //!   feature map its own bitwidth.
 
@@ -20,7 +29,7 @@ pub use quantized::{calibrate_ranges, QuantExecutor};
 use quantmcu_tensor::Shape;
 
 use crate::error::GraphError;
-use crate::spec::GraphSpec;
+use crate::spec::{FeatureMapId, GraphSpec, Source};
 
 /// Validates an executor input against the spec's declared input shape.
 pub(crate) fn check_input(spec: &GraphSpec, actual: Shape) -> Result<(), GraphError> {
@@ -30,4 +39,23 @@ pub(crate) fn check_input(spec: &GraphSpec, actual: Shape) -> Result<(), GraphEr
     } else {
         Err(GraphError::InputShapeMismatch { expected, actual })
     }
+}
+
+/// Slot index of a node input source ([`FeatureMapId`] numbering).
+pub(crate) fn source_fm(s: Source) -> usize {
+    s.feature_map().0
+}
+
+/// The feature-map liveness schedule both executors recycle buffers by:
+/// entry `i` lists the maps whose *last* consumer is node `i`, releasable
+/// to the arena once it has fired. Maps without consumers (at least the
+/// final output) appear in no entry and stay live until the run ends.
+pub(crate) fn release_schedule(spec: &GraphSpec) -> Vec<Vec<usize>> {
+    let mut release_after = vec![Vec::new(); spec.len()];
+    for fm in 0..spec.feature_map_count() {
+        if let Some(last) = spec.consumers_of(FeatureMapId(fm)).into_iter().max() {
+            release_after[last].push(fm);
+        }
+    }
+    release_after
 }

@@ -1,15 +1,20 @@
-use quantmcu_tensor::{Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
+use quantmcu_tensor::{Arena, Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
 
 use crate::error::GraphError;
-use crate::exec::FloatExecutor;
+use crate::exec::{source_fm as src_fm, FloatExecutor};
 use crate::graph::Graph;
-use crate::spec::{OpSpec, Source};
+use crate::kernels::{self, Dot};
+use crate::spec::{FeatureMapId, OpSpec};
 
-/// Collects per-feature-map activation ranges by tracing the float executor
-/// over a calibration set.
+/// Collects per-feature-map activation ranges by streaming the float
+/// executor over a calibration set.
 ///
-/// Returns one `(min, max)` per feature map (input included), the inputs to
-/// [`QuantExecutor::new`].
+/// Ranges are accumulated incrementally from
+/// [`FloatExecutor::run_with`] — no trace is materialized, so peak memory
+/// is one live set of feature maps regardless of calibration-set size.
+///
+/// Returns one `(min, max)` per feature map (input included), the inputs
+/// to [`QuantExecutor::new`].
 ///
 /// # Errors
 ///
@@ -17,15 +22,15 @@ use crate::spec::{OpSpec, Source};
 pub fn calibrate_ranges(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<(f32, f32)>, GraphError> {
     let fm_count = graph.spec().feature_map_count();
     let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); fm_count];
-    let exec = FloatExecutor::new(graph);
+    let mut exec = FloatExecutor::new(graph);
     for input in inputs {
-        let trace = exec.run_trace(input)?;
-        for (r, t) in ranges.iter_mut().zip(&trace) {
+        exec.run_with(input, |fm, t| {
+            let r = &mut ranges[fm.0];
             for &v in t.data() {
                 r.0 = r.0.min(v);
                 r.1 = r.1.max(v);
             }
-        }
+        })?;
     }
     for r in &mut ranges {
         if !r.0.is_finite() || !r.1.is_finite() {
@@ -35,23 +40,97 @@ pub fn calibrate_ranges(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<(f32, f3
     Ok(ranges)
 }
 
+/// A streaming observer over dequantized feature maps.
+type MapObserver<'o> = &'o mut dyn FnMut(FeatureMapId, &Tensor);
+
+/// Per-node integer requantization constants, precomputed once.
+#[derive(Debug)]
+struct NodeQuant {
+    /// Bias in accumulator grid units, per output channel.
+    bias_q: Vec<i64>,
+    /// `s_in * s_w(oc)`: the accumulator's real-value scale, per channel.
+    acc_scale: Vec<f64>,
+}
+
+/// The integer strategy for the shared weighted kernels: `i32` grid
+/// elements, zero-point-corrected `i64` accumulation, per-channel
+/// requantization to the output feature map's grid on finish.
+struct QuantDot<'a> {
+    qw: &'a [i8],
+    zp_in: i32,
+    nq: &'a NodeQuant,
+    out_scale: f64,
+    zp_out: i32,
+    q_min: i32,
+    q_max: i32,
+}
+
+impl Dot for QuantDot<'_> {
+    type Elem = i32;
+    type Acc = i64;
+
+    #[inline]
+    fn init(&self, _oc: usize) -> i64 {
+        0
+    }
+
+    #[inline]
+    fn dot(&self, acc: i64, x: &[i32], w_base: usize) -> i64 {
+        let w = &self.qw[w_base..w_base + x.len()];
+        x.iter().zip(w).fold(acc, |a, (&q, &wv)| a + ((q - self.zp_in) * wv as i32) as i64)
+    }
+
+    #[inline]
+    fn mac_rows(&self, acc: &mut [i64], x: &[i32], w_base: usize) {
+        let w = &self.qw[w_base..w_base + acc.len()];
+        for ((a, &q), &wv) in acc.iter_mut().zip(x).zip(w) {
+            *a += ((q - self.zp_in) * wv as i32) as i64;
+        }
+    }
+
+    #[inline]
+    fn finish(&self, acc: i64, oc: usize) -> i32 {
+        // Bias enters the accumulator in its own grid, then the total is
+        // requantized to the output feature map's grid.
+        let acc = acc + self.nq.bias_q[oc];
+        let real = acc as f64 * self.nq.acc_scale[oc];
+        let q = (real / self.out_scale).round() as i32 + self.zp_out;
+        q.clamp(self.q_min, self.q_max)
+    }
+}
+
 /// Integer executor modeling the CMSIS-NN / CMix-NN deployment stack.
 ///
-/// Weighted operators (convolutions, dense) run in true integer arithmetic:
-/// `i8` inputs, per-channel quantized weights, `i32` accumulators and a
-/// rescale to the output feature map's grid. Value-preserving operators
+/// Weighted operators (convolutions, dense) run in true integer
+/// arithmetic through the same cache-blocked kernels as the float
+/// executor ([`crate::kernels`]), instantiated with an integer strategy:
+/// `i8` weights, zero-point-corrected `i64` accumulators and a rescale to
+/// the output feature map's grid. Value-preserving operators
 /// (activations, pooling, add, concat) are evaluated through
-/// dequantize→op→requantize, which is numerically equivalent to their
+/// dequantize→kernel→requantize, which is numerically equivalent to their
 /// fixed-point forms and keeps the kernel inventory small.
 ///
-/// Each feature map carries its own [`Bitwidth`], so a mixed-precision plan
-/// from the VDQS search is evaluated by passing its bitwidth vector here.
+/// Feature maps live in executor-owned arenas and are recycled per the
+/// graph's liveness schedule, so steady-state runs perform no heap
+/// allocations beyond the returned tensor.
+///
+/// Each feature map carries its own [`Bitwidth`], so a mixed-precision
+/// plan from the VDQS search is evaluated by passing its bitwidth vector
+/// here.
 #[derive(Debug)]
 pub struct QuantExecutor<'g> {
     graph: &'g Graph,
     act_params: Vec<QuantParams>,
-    weight_params: Vec<Option<ChannelQuantParams>>,
     qweights: Vec<Vec<i8>>,
+    node_quant: Vec<Option<NodeQuant>>,
+    arena_q: Arena<i32>,
+    arena_f: Arena<f32>,
+    /// Live quantized feature maps, indexed by [`FeatureMapId`].
+    qslots: Vec<Option<Vec<i32>>>,
+    /// Dequantized input scratch for value-preserving ops.
+    scratch: Vec<Tensor>,
+    /// Feature maps whose last consumer is node `i`.
+    release_after: Vec<Vec<usize>>,
 }
 
 impl<'g> QuantExecutor<'g> {
@@ -85,33 +164,60 @@ impl<'g> QuantExecutor<'g> {
                 .map_err(|_| GraphError::MissingQuantization { feature_map: i })?;
             act_params.push(p);
         }
-        let mut weight_params = Vec::with_capacity(spec.len());
         let mut qweights = Vec::with_capacity(spec.len());
+        let mut node_quant = Vec::with_capacity(spec.len());
         for i in 0..spec.len() {
             let w = graph.params(i).weights();
             if w.is_empty() {
-                weight_params.push(None);
                 qweights.push(Vec::new());
+                node_quant.push(None);
                 continue;
             }
-            let (channels, per_channel) =
-                weight_channel_layout(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w.len());
+            let op = spec.nodes()[i].op;
+            let in_shape = spec.input_shapes_of(i)[0];
+            let (channels, per_channel) = weight_channel_layout(op, in_shape, w.len());
             let params = ChannelQuantParams::fit(
-                &regroup_by_channel(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w),
+                &regroup_by_channel(op, in_shape, w),
                 channels,
                 per_channel,
                 weight_bits,
             )?;
-            let grouped = regroup_by_channel(spec.nodes()[i].op, spec.input_shapes_of(i)[0], w);
-            let qw: Vec<i8> = grouped
-                .iter()
-                .enumerate()
-                .map(|(j, &v)| params.quantize(j / per_channel, v) as i8)
-                .collect();
-            weight_params.push(Some(params));
+            // Weights are quantized in their *execution* layout (the one
+            // the shared kernels index), so each value maps to its own
+            // channel's grid: depthwise is `[kh][kw][c]` (channel =
+            // j % c), conv/dense rows are already channel-major.
+            let qw: Vec<i8> = match op {
+                OpSpec::DepthwiseConv2d { .. } => w
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| params.quantize(j % in_shape.c, v) as i8)
+                    .collect(),
+                _ => w
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| params.quantize(j / per_channel, v) as i8)
+                    .collect(),
+            };
+            let s_in = act_params[src_fm(spec.nodes()[i].inputs[0])].scale() as f64;
+            let bias = graph.params(i).bias();
+            let acc_scale: Vec<f64> =
+                (0..channels).map(|ch| s_in * params.scale(ch) as f64).collect();
+            let bias_q: Vec<i64> =
+                bias.iter().zip(&acc_scale).map(|(&b, &s)| (b as f64 / s).round() as i64).collect();
             qweights.push(qw);
+            node_quant.push(Some(NodeQuant { bias_q, acc_scale }));
         }
-        Ok(QuantExecutor { graph, act_params, weight_params, qweights })
+        Ok(QuantExecutor {
+            graph,
+            act_params,
+            qweights,
+            node_quant,
+            arena_q: Arena::new(),
+            arena_f: Arena::new(),
+            qslots: (0..fm_count).map(|_| None).collect(),
+            scratch: Vec::new(),
+            release_after: super::release_schedule(spec),
+        })
     }
 
     /// Activation parameters of feature map `fm`.
@@ -129,9 +235,33 @@ impl<'g> QuantExecutor<'g> {
     ///
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
-    pub fn run(&self, input: &Tensor) -> Result<Tensor, GraphError> {
-        let trace = self.run_trace(input)?;
-        Ok(trace.into_iter().last().expect("trace contains at least the input"))
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, GraphError> {
+        self.execute(input, None)?;
+        let spec = self.graph.spec();
+        let last = spec.feature_map_count() - 1;
+        let q = self.qslots[last].as_ref().expect("final feature map is never released early");
+        let p = self.act_params[last];
+        let out = Tensor::from_fn(fm_shape(spec, last), |j| p.dequantize(q[j]));
+        self.release_all();
+        Ok(out)
+    }
+
+    /// Runs the graph, streaming every feature map to `observer`
+    /// dequantized to `f32` (index 0 is the quantize-dequantized input).
+    /// Quantized buffers are recycled once their last consumer has fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
+    /// match the spec.
+    pub fn run_with(
+        &mut self,
+        input: &Tensor,
+        mut observer: impl FnMut(FeatureMapId, &Tensor),
+    ) -> Result<(), GraphError> {
+        self.execute(input, Some(&mut observer))?;
+        self.release_all();
+        Ok(())
     }
 
     /// Runs the graph, returning every feature map dequantized to `f32`
@@ -141,211 +271,210 @@ impl<'g> QuantExecutor<'g> {
     ///
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
-    pub fn run_trace(&self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
-        let spec = self.graph.spec();
+    pub fn run_trace(&mut self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
+        let mut trace = Vec::with_capacity(self.graph.spec().feature_map_count());
+        self.run_with(input, |_, t| trace.push(t.clone()))?;
+        Ok(trace)
+    }
+
+    /// Core loop over the graph in quantized storage. When `observer` is
+    /// present, each map is dequantized into arena scratch and yielded.
+    fn execute(
+        &mut self,
+        input: &Tensor,
+        mut observer: Option<MapObserver<'_>>,
+    ) -> Result<(), GraphError> {
+        let QuantExecutor {
+            graph,
+            act_params,
+            qweights,
+            node_quant,
+            arena_q,
+            arena_f,
+            qslots,
+            scratch,
+            release_after,
+        } = self;
+        let spec = graph.spec();
         super::check_input(spec, input.shape())?;
-        // Quantized working storage per feature map, kept as i32 grid values.
-        let mut qmaps: Vec<Vec<i32>> = Vec::with_capacity(spec.len() + 1);
-        qmaps.push(input.data().iter().map(|&v| self.act_params[0].quantize(v)).collect());
+        let mut q0 = arena_q.take(input.data().len());
+        for (q, &v) in q0.iter_mut().zip(input.data()) {
+            *q = act_params[0].quantize(v);
+        }
+        qslots[0] = Some(q0);
+        if let Some(obs) = observer.as_deref_mut() {
+            yield_map(arena_f, spec, act_params, qslots, 0, obs);
+        }
         for (i, node) in spec.nodes().iter().enumerate() {
             let out_fm = i + 1;
-            let out = match node.op {
-                OpSpec::Conv2d { out_ch, kernel, stride, pad } => self.int_conv(
-                    i,
-                    &qmaps[src_fm(node.inputs[0])],
-                    spec.input_shapes_of(i)[0],
-                    out_fm,
-                    ConvKind::Standard { out_ch },
-                    kernel,
-                    stride,
-                    pad,
-                ),
-                OpSpec::DepthwiseConv2d { kernel, stride, pad } => self.int_conv(
-                    i,
-                    &qmaps[src_fm(node.inputs[0])],
-                    spec.input_shapes_of(i)[0],
-                    out_fm,
-                    ConvKind::Depthwise,
-                    kernel,
-                    stride,
-                    pad,
-                ),
-                OpSpec::Dense { out } => self.int_dense(
-                    i,
-                    &qmaps[src_fm(node.inputs[0])],
-                    spec.input_shapes_of(i)[0],
-                    out_fm,
-                    out,
-                ),
-                _ => {
-                    // Value-preserving ops: dequant -> float op -> requant.
-                    let tensors: Vec<Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|&s| self.dequant_map(spec, s, &qmaps[src_fm(s)]))
-                        .collect();
-                    let refs: Vec<&Tensor> = tensors.iter().collect();
-                    let out_f = super::float::eval_op(node.op, &refs, &[], &[]);
-                    let p = self.act_params[out_fm];
-                    out_f.data().iter().map(|&v| p.quantize(v)).collect()
+            let out_shape = spec.node_shape(i);
+            let mut qout = arena_q.take(out_shape.len());
+            let in0_fm = src_fm(node.inputs[0]);
+            let in_shape = fm_shape(spec, in0_fm);
+            match node.op {
+                OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
+                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
+                    kernels::conv2d(
+                        &dot,
+                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
+                        in_shape,
+                        &mut qout,
+                        out_ch,
+                        kernel,
+                        stride,
+                        pad,
+                        out_shape.full_region(),
+                    );
                 }
-            };
-            qmaps.push(out);
-        }
-        // Dequantize every feature map for inspection.
-        let mut result = Vec::with_capacity(qmaps.len());
-        for (fm, q) in qmaps.iter().enumerate() {
-            let shape = fm_shape(spec, fm);
-            let p = self.act_params[fm];
-            result.push(Tensor::from_fn(shape, |j| p.dequantize(q[j])));
-        }
-        Ok(result)
-    }
-
-    fn dequant_map(&self, spec: &crate::spec::GraphSpec, s: Source, q: &[i32]) -> Tensor {
-        let fm = src_fm(s);
-        let p = self.act_params[fm];
-        Tensor::from_fn(fm_shape(spec, fm), |j| p.dequantize(q[j]))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn int_conv(
-        &self,
-        node: usize,
-        q_in: &[i32],
-        in_shape: Shape,
-        out_fm: usize,
-        kind: ConvKind,
-        k: usize,
-        stride: usize,
-        pad: usize,
-    ) -> Vec<i32> {
-        let in_fm_params = self.act_params[self.input_fm_of(node)];
-        let out_params = self.act_params[out_fm];
-        let wp = self.weight_params[node].as_ref().expect("conv has weights");
-        let qw = &self.qweights[node];
-        let bias = self.graph.params(node).bias();
-        let oh = (in_shape.h + 2 * pad - k) / stride + 1;
-        let ow = (in_shape.w + 2 * pad - k) / stride + 1;
-        let out_ch = match kind {
-            ConvKind::Standard { out_ch } => out_ch,
-            ConvKind::Depthwise => in_shape.c,
-        };
-        let os = Shape::new(in_shape.n, oh, ow, out_ch);
-        let zp_in = in_fm_params.zero_point();
-        let s_in = in_fm_params.scale() as f64;
-        let mut out = vec![0i32; os.len()];
-        let per_channel = match kind {
-            ConvKind::Standard { .. } => k * k * in_shape.c,
-            ConvKind::Depthwise => k * k,
-        };
-        for n in 0..in_shape.n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    for oc in 0..out_ch {
-                        let mut acc: i64 = 0;
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            if iy < 0 || iy as usize >= in_shape.h {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix as usize >= in_shape.w {
-                                    continue;
-                                }
-                                match kind {
-                                    ConvKind::Standard { .. } => {
-                                        let in_base =
-                                            in_shape.index(n, iy as usize, ix as usize, 0);
-                                        let w_base = (oc * k * k + ky * k + kx) * in_shape.c;
-                                        for ic in 0..in_shape.c {
-                                            let a = q_in[in_base + ic] - zp_in;
-                                            let w = qw[w_base + ic] as i32;
-                                            acc += (a * w) as i64;
-                                        }
-                                    }
-                                    ConvKind::Depthwise => {
-                                        let a = q_in
-                                            [in_shape.index(n, iy as usize, ix as usize, oc)]
-                                            - zp_in;
-                                        let w = qw[oc * per_channel + ky * k + kx] as i32;
-                                        acc += (a * w) as i64;
-                                    }
-                                }
-                            }
+                OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
+                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
+                    kernels::dwconv(
+                        &dot,
+                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
+                        in_shape,
+                        &mut qout,
+                        kernel,
+                        stride,
+                        pad,
+                        out_shape.full_region(),
+                    );
+                }
+                OpSpec::Dense { out } => {
+                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
+                    kernels::dense(
+                        &dot,
+                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
+                        in_shape,
+                        &mut qout,
+                        out,
+                    );
+                }
+                _ => {
+                    // Value-preserving ops: dequantize inputs into arena
+                    // scratch, run the shared float kernel, requantize.
+                    for &s in &node.inputs {
+                        let fm = src_fm(s);
+                        let shape = fm_shape(spec, fm);
+                        let p = act_params[fm];
+                        let q = qslots[fm].as_ref().expect("liveness keeps inputs alive");
+                        let mut buf = arena_f.take(shape.len());
+                        for (o, &qv) in buf.iter_mut().zip(q) {
+                            *o = p.dequantize(qv);
                         }
-                        // Bias enters the accumulator in its own grid.
-                        let s_w = wp.scale(oc) as f64;
-                        let acc_scale = s_in * s_w;
-                        let bias_q = (bias[oc] as f64 / acc_scale).round() as i64;
-                        acc += bias_q;
-                        // Requantize to the output grid.
-                        let real = acc as f64 * acc_scale;
-                        let q = (real / out_params.scale() as f64).round() as i32
-                            + out_params.zero_point();
-                        out[os.index(n, oy, ox, oc)] = q.clamp(
-                            out_params.bitwidth().min_value(),
-                            out_params.bitwidth().max_value(),
-                        );
+                        scratch.push(Tensor::from_vec(shape, buf).expect("arena length matches"));
+                    }
+                    let mut outf = arena_f.take(out_shape.len());
+                    let region = out_shape.full_region();
+                    let s0 = &scratch[0];
+                    match node.op {
+                        OpSpec::MaxPool { kernel, stride } => kernels::max_pool(
+                            s0.data(),
+                            s0.shape(),
+                            &mut outf,
+                            kernel,
+                            stride,
+                            region,
+                        ),
+                        OpSpec::AvgPool { kernel, stride } => kernels::avg_pool(
+                            s0.data(),
+                            s0.shape(),
+                            &mut outf,
+                            kernel,
+                            stride,
+                            region,
+                        ),
+                        OpSpec::GlobalAvgPool => {
+                            kernels::global_avg_pool(s0.data(), s0.shape(), &mut outf)
+                        }
+                        OpSpec::Relu => {
+                            kernels::relu(s0.data(), s0.shape(), &mut outf, f32::INFINITY, region)
+                        }
+                        OpSpec::Relu6 => {
+                            kernels::relu(s0.data(), s0.shape(), &mut outf, 6.0, region)
+                        }
+                        OpSpec::Add => {
+                            kernels::add(s0.data(), scratch[1].data(), out_shape, &mut outf, region)
+                        }
+                        OpSpec::Concat => kernels::concat(
+                            scratch.iter().map(|t| (t.data(), t.shape())),
+                            &mut outf,
+                            out_shape,
+                            region,
+                        ),
+                        _ => unreachable!("weighted ops handled above"),
+                    }
+                    let p = act_params[out_fm];
+                    for (q, &v) in qout.iter_mut().zip(&outf) {
+                        *q = p.quantize(v);
+                    }
+                    arena_f.give(outf);
+                    for t in scratch.drain(..) {
+                        arena_f.give(t.into_vec());
                     }
                 }
             }
-        }
-        out
-    }
-
-    fn int_dense(
-        &self,
-        node: usize,
-        q_in: &[i32],
-        in_shape: Shape,
-        out_fm: usize,
-        out_f: usize,
-    ) -> Vec<i32> {
-        let in_params = self.act_params[self.input_fm_of(node)];
-        let out_params = self.act_params[out_fm];
-        let wp = self.weight_params[node].as_ref().expect("dense has weights");
-        let qw = &self.qweights[node];
-        let bias = self.graph.params(node).bias();
-        let fan_in = in_shape.per_sample();
-        let zp_in = in_params.zero_point();
-        let s_in = in_params.scale() as f64;
-        let mut out = vec![0i32; in_shape.n * out_f];
-        for n in 0..in_shape.n {
-            for o in 0..out_f {
-                let mut acc: i64 = 0;
-                for j in 0..fan_in {
-                    let a = q_in[n * fan_in + j] - zp_in;
-                    let w = qw[o * fan_in + j] as i32;
-                    acc += (a * w) as i64;
+            qslots[out_fm] = Some(qout);
+            if let Some(obs) = observer.as_deref_mut() {
+                yield_map(arena_f, spec, act_params, qslots, out_fm, obs);
+            }
+            for &fm in &release_after[i] {
+                if let Some(q) = qslots[fm].take() {
+                    arena_q.give(q);
                 }
-                let acc_scale = s_in * wp.scale(o) as f64;
-                acc += (bias[o] as f64 / acc_scale).round() as i64;
-                let real = acc as f64 * acc_scale;
-                let q = (real / out_params.scale() as f64).round() as i32 + out_params.zero_point();
-                out[n * out_f + o] =
-                    q.clamp(out_params.bitwidth().min_value(), out_params.bitwidth().max_value());
             }
         }
-        out
+        Ok(())
     }
 
-    fn input_fm_of(&self, node: usize) -> usize {
-        src_fm(self.graph.spec().nodes()[node].inputs[0])
+    /// Returns every still-live quantized buffer to the arena.
+    fn release_all(&mut self) {
+        for slot in &mut self.qslots {
+            if let Some(q) = slot.take() {
+                self.arena_q.give(q);
+            }
+        }
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum ConvKind {
-    Standard { out_ch: usize },
-    Depthwise,
+/// Dequantizes feature map `fm` into arena scratch and yields it.
+fn yield_map(
+    arena_f: &mut Arena<f32>,
+    spec: &crate::spec::GraphSpec,
+    act_params: &[QuantParams],
+    qslots: &[Option<Vec<i32>>],
+    fm: usize,
+    observer: &mut dyn FnMut(FeatureMapId, &Tensor),
+) {
+    let shape = fm_shape(spec, fm);
+    let p = act_params[fm];
+    let q = qslots[fm].as_ref().expect("just produced");
+    let mut buf = arena_f.take(shape.len());
+    for (o, &qv) in buf.iter_mut().zip(q) {
+        *o = p.dequantize(qv);
+    }
+    let t = Tensor::from_vec(shape, buf).expect("arena length matches");
+    observer(FeatureMapId(fm), &t);
+    arena_f.give(t.into_vec());
 }
 
-fn src_fm(s: Source) -> usize {
-    match s {
-        Source::Input => 0,
-        Source::Node(i) => i + 1,
+/// Builds the integer kernel strategy for weighted node `i`.
+fn quant_dot<'a>(
+    qweights: &'a [Vec<i8>],
+    node_quant: &'a [Option<NodeQuant>],
+    act_params: &[QuantParams],
+    i: usize,
+    in_fm: usize,
+    out_fm: usize,
+) -> QuantDot<'a> {
+    let out_params = act_params[out_fm];
+    QuantDot {
+        qw: &qweights[i],
+        zp_in: act_params[in_fm].zero_point(),
+        nq: node_quant[i].as_ref().expect("weighted node has quantization"),
+        out_scale: out_params.scale() as f64,
+        zp_out: out_params.zero_point(),
+        q_min: out_params.bitwidth().min_value(),
+        q_max: out_params.bitwidth().max_value(),
     }
 }
 
@@ -370,7 +499,8 @@ fn weight_channel_layout(op: OpSpec, in_shape: Shape, w_len: usize) -> (usize, u
 /// Rearranges weights so each channel's values are contiguous, the layout
 /// [`ChannelQuantParams::fit`] expects. Conv (OHWI) and dense are already
 /// channel-major; depthwise is stored `[kh][kw][c]` and must be transposed
-/// to `[c][kh][kw]`.
+/// to `[c][kh][kw]`. Only the *fit* uses this grouping — execution keeps
+/// the canonical layout the shared kernels index.
 fn regroup_by_channel(op: OpSpec, in_shape: Shape, w: &[f32]) -> Vec<f32> {
     match op {
         OpSpec::DepthwiseConv2d { kernel, .. } => {
@@ -423,9 +553,9 @@ mod tests {
         let g = small_graph();
         let inputs = calib_inputs(g.spec().input_shape(), 4);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
-        let qe =
+        let mut qe =
             QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
-        let fe = FloatExecutor::new(&g);
+        let mut fe = FloatExecutor::new(&g);
         let f_out = fe.run(&inputs[0]).unwrap();
         let q_out = qe.run(&inputs[0]).unwrap();
         let denom = f_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
@@ -438,11 +568,12 @@ mod tests {
         let g = small_graph();
         let inputs = calib_inputs(g.spec().input_shape(), 4);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
-        let fe = FloatExecutor::new(&g);
+        let mut fe = FloatExecutor::new(&g);
         let f_out = fe.run(&inputs[0]).unwrap();
         let mut errs = Vec::new();
         for b in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
-            let qe = QuantExecutor::new(&g, &ranges, &uniform_bits(&g, b), Bitwidth::W8).unwrap();
+            let mut qe =
+                QuantExecutor::new(&g, &ranges, &uniform_bits(&g, b), Bitwidth::W8).unwrap();
             errs.push(f_out.mean_abs_diff(&qe.run(&inputs[0]).unwrap()));
         }
         assert!(errs[0] <= errs[1] + 1e-6, "8-bit ({}) should beat 4-bit ({})", errs[0], errs[1]);
@@ -458,7 +589,7 @@ mod tests {
         // First half of the maps at 4-bit, rest at 8-bit.
         let bits: Vec<Bitwidth> =
             (0..fm).map(|i| if i < fm / 2 { Bitwidth::W4 } else { Bitwidth::W8 }).collect();
-        let qe = QuantExecutor::new(&g, &ranges, &bits, Bitwidth::W8).unwrap();
+        let mut qe = QuantExecutor::new(&g, &ranges, &bits, Bitwidth::W8).unwrap();
         let out = qe.run(&inputs[0]).unwrap();
         assert!(out.data().iter().all(|v| v.is_finite()));
     }
@@ -480,7 +611,7 @@ mod tests {
         let g = small_graph();
         let inputs = calib_inputs(g.spec().input_shape(), 2);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
-        let qe =
+        let mut qe =
             QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
         let trace = qe.run_trace(&inputs[0]).unwrap();
         assert_eq!(trace.len(), g.spec().feature_map_count());
@@ -497,5 +628,20 @@ mod tests {
                 assert!(v >= ranges[fm].0 - 1e-6 && v <= ranges[fm].1 + 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn quantized_steady_state_reuses_arena_buffers() {
+        let g = small_graph();
+        let inputs = calib_inputs(g.spec().input_shape(), 2);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let mut qe =
+            QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
+        qe.run_with(&inputs[0], |_, _| {}).unwrap();
+        let warm = (qe.arena_q.fresh_allocations(), qe.arena_f.fresh_allocations());
+        for _ in 0..5 {
+            qe.run_with(&inputs[1], |_, _| {}).unwrap();
+        }
+        assert_eq!((qe.arena_q.fresh_allocations(), qe.arena_f.fresh_allocations()), warm);
     }
 }

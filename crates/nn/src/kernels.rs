@@ -1,0 +1,723 @@
+//! Shared operator kernels.
+//!
+//! Both executors ([`FloatExecutor`](crate::exec::FloatExecutor) and
+//! [`QuantExecutor`](crate::exec::QuantExecutor)) and the patch engine's
+//! region-restricted branch evaluation dispatch into this module, so every
+//! operator's loop nest exists exactly once. The weighted kernels
+//! ([`conv2d`], [`dwconv`], [`dense`]) are generic over a [`Dot`]
+//! element/accumulator strategy: [`FloatDot`] instantiates them as the
+//! `f32` reference, and the integer executor supplies its own strategy
+//! (`i32` grid values, `i64` accumulation, per-channel requantization).
+//!
+//! The convolution kernels are cache-blocked: output channels are tiled so
+//! each input row slice loaded into L1 is reused across a whole tile of
+//! filters, output rows are tiled to keep the working set resident, the
+//! valid kernel-tap ranges are hoisted out of the inner loops (no
+//! per-element padding branches), and the innermost channel loop runs over
+//! raw contiguous slices — no per-element `at`/`set` index arithmetic.
+//! Per output element the accumulation order (`ky`, `kx`, `ic`) is
+//! identical to the [`naive`] reference loops, so the blocked kernels are
+//! bit-for-bit equal to them in `f32` — a property the kernel-parity
+//! proptest suite pins down.
+//!
+//! Every kernel writes into a caller-provided output slice and takes a
+//! [`Region`] selecting the output rows/columns to compute (pass
+//! [`Shape::full_region`] for whole-map execution), which is what lets the
+//! patch engine compute only the halo-expanded regions a branch needs.
+
+use quantmcu_tensor::{Region, Shape};
+
+/// Element/accumulator strategy for the weighted kernels.
+///
+/// A strategy owns the weight buffer (in the node's canonical layout,
+/// addressed by flat index) and defines how a kernel initializes,
+/// accumulates and finalizes one output element. The float strategy
+/// preloads the bias and accumulates in `f32`; the integer strategy
+/// accumulates zero-point-corrected products in `i64` and requantizes on
+/// [`Dot::finish`].
+pub trait Dot {
+    /// Feature-map element type (`f32` for float, `i32` grid values for
+    /// the integer executor).
+    type Elem: Copy;
+    /// Accumulator type.
+    type Acc: Copy;
+
+    /// Initial accumulator for output channel `oc`.
+    fn init(&self, oc: usize) -> Self::Acc;
+
+    /// Accumulates the dot product of `x` with the weights starting at
+    /// flat index `w_base`, in element order.
+    fn dot(&self, acc: Self::Acc, x: &[Self::Elem], w_base: usize) -> Self::Acc;
+
+    /// Depthwise per-channel MAC: `acc[j] += x[j] * w[w_base + j]` for
+    /// every `j`.
+    fn mac_rows(&self, acc: &mut [Self::Acc], x: &[Self::Elem], w_base: usize);
+
+    /// Finalizes an accumulator into an output element for channel `oc`.
+    fn finish(&self, acc: Self::Acc, oc: usize) -> Self::Elem;
+}
+
+/// The full-precision strategy: `f32` elements, `f32` accumulation, bias
+/// preloaded into the accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatDot<'a> {
+    /// Flattened weights in the node's canonical layout (see
+    /// [`crate::OpParams`]).
+    pub weights: &'a [f32],
+    /// One bias per output channel / feature.
+    pub bias: &'a [f32],
+}
+
+impl Dot for FloatDot<'_> {
+    type Elem = f32;
+    type Acc = f32;
+
+    #[inline]
+    fn init(&self, oc: usize) -> f32 {
+        self.bias[oc]
+    }
+
+    #[inline]
+    fn dot(&self, acc: f32, x: &[f32], w_base: usize) -> f32 {
+        let w = &self.weights[w_base..w_base + x.len()];
+        x.iter().zip(w).fold(acc, |a, (&xv, &wv)| a + xv * wv)
+    }
+
+    #[inline]
+    fn mac_rows(&self, acc: &mut [f32], x: &[f32], w_base: usize) {
+        let w = &self.weights[w_base..w_base + acc.len()];
+        for ((a, &xv), &wv) in acc.iter_mut().zip(x).zip(w) {
+            *a += xv * wv;
+        }
+    }
+
+    #[inline]
+    fn finish(&self, acc: f32, _oc: usize) -> f32 {
+        acc
+    }
+}
+
+/// Output-channel tile width of the blocked convolution kernels.
+const OC_TILE: usize = 8;
+/// Output-row tile height of the blocked convolution kernels.
+const ROW_TILE: usize = 4;
+/// Channel tile width of the depthwise kernel.
+const CH_TILE: usize = 16;
+/// Fan-in chunk length of the blocked dense kernel.
+const FAN_CHUNK: usize = 256;
+
+/// Spatial output extent of a convolution/pool window.
+pub fn conv_output_hw(in_shape: Shape, k: usize, stride: usize, pad: usize) -> (usize, usize) {
+    ((in_shape.h + 2 * pad - k) / stride + 1, (in_shape.w + 2 * pad - k) / stride + 1)
+}
+
+/// Valid kernel-tap range `[lo, hi)` for output position `o`: taps whose
+/// input coordinate `o * stride + t - pad` falls inside `[0, extent)`.
+#[inline]
+fn valid_taps(o: usize, stride: usize, k: usize, pad: usize, extent: usize) -> (usize, usize) {
+    let base = o * stride;
+    let lo = pad.saturating_sub(base);
+    let hi = (extent + pad).saturating_sub(base).min(k);
+    (lo.min(hi), hi)
+}
+
+/// Cache-blocked standard convolution (OHWI weights, fused bias via the
+/// strategy), zero padding outside the input.
+///
+/// `out` must hold the full output map; only positions inside `region`
+/// (clamped to the map) are written.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d<S: Dot>(
+    s: &S,
+    input: &[S::Elem],
+    in_shape: Shape,
+    out: &mut [S::Elem],
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    region: Region,
+) {
+    let (oh, ow) = conv_output_hw(in_shape, k, stride, pad);
+    let os = Shape::new(in_shape.n, oh, ow, out_ch);
+    debug_assert_eq!(out.len(), os.len());
+    let y_end = region.y_end().min(oh);
+    let x_end = region.x_end().min(ow);
+    let c = in_shape.c;
+    for n in 0..in_shape.n {
+        for oy0 in (region.y..y_end).step_by(ROW_TILE) {
+            let oy1 = (oy0 + ROW_TILE).min(y_end);
+            for oc0 in (0..out_ch).step_by(OC_TILE) {
+                let oc_n = (out_ch - oc0).min(OC_TILE);
+                for oy in oy0..oy1 {
+                    let (ky_lo, ky_hi) = valid_taps(oy, stride, k, pad, in_shape.h);
+                    for ox in region.x..x_end {
+                        let (kx_lo, kx_hi) = valid_taps(ox, stride, k, pad, in_shape.w);
+                        let mut acc = [s.init(oc0); OC_TILE];
+                        for (j, a) in acc.iter_mut().enumerate().take(oc_n).skip(1) {
+                            *a = s.init(oc0 + j);
+                        }
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * stride + ky - pad;
+                            let row = in_shape.index(n, iy, 0, 0);
+                            for kx in kx_lo..kx_hi {
+                                let ix = ox * stride + kx - pad;
+                                let x = &input[row + ix * c..row + (ix + 1) * c];
+                                for (j, a) in acc.iter_mut().enumerate().take(oc_n) {
+                                    let w_base = (((oc0 + j) * k + ky) * k + kx) * c;
+                                    *a = s.dot(*a, x, w_base);
+                                }
+                            }
+                        }
+                        let o_base = os.index(n, oy, ox, oc0);
+                        for (j, &a) in acc.iter().enumerate().take(oc_n) {
+                            out[o_base + j] = s.finish(a, oc0 + j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked depthwise convolution (`[kh][kw][c]` weights), zero
+/// padding outside the input. Channels are processed in tiles so the
+/// per-channel MACs of one kernel tap run over contiguous slices.
+#[allow(clippy::too_many_arguments)]
+pub fn dwconv<S: Dot>(
+    s: &S,
+    input: &[S::Elem],
+    in_shape: Shape,
+    out: &mut [S::Elem],
+    k: usize,
+    stride: usize,
+    pad: usize,
+    region: Region,
+) {
+    let (oh, ow) = conv_output_hw(in_shape, k, stride, pad);
+    let c = in_shape.c;
+    let os = Shape::new(in_shape.n, oh, ow, c);
+    debug_assert_eq!(out.len(), os.len());
+    let y_end = region.y_end().min(oh);
+    let x_end = region.x_end().min(ow);
+    for n in 0..in_shape.n {
+        for oy in region.y..y_end {
+            let (ky_lo, ky_hi) = valid_taps(oy, stride, k, pad, in_shape.h);
+            for ox in region.x..x_end {
+                let (kx_lo, kx_hi) = valid_taps(ox, stride, k, pad, in_shape.w);
+                for c0 in (0..c).step_by(CH_TILE) {
+                    let cn = (c - c0).min(CH_TILE);
+                    let mut acc = [s.init(c0); CH_TILE];
+                    for (j, a) in acc.iter_mut().enumerate().take(cn).skip(1) {
+                        *a = s.init(c0 + j);
+                    }
+                    for ky in ky_lo..ky_hi {
+                        let iy = oy * stride + ky - pad;
+                        for kx in kx_lo..kx_hi {
+                            let ix = ox * stride + kx - pad;
+                            let base = in_shape.index(n, iy, ix, 0) + c0;
+                            s.mac_rows(
+                                &mut acc[..cn],
+                                &input[base..base + cn],
+                                (ky * k + kx) * c + c0,
+                            );
+                        }
+                    }
+                    let o_base = os.index(n, oy, ox, c0);
+                    for (j, &a) in acc.iter().enumerate().take(cn) {
+                        out[o_base + j] = s.finish(a, c0 + j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked dense (fully connected) layer over the flattened input:
+/// output features are tiled and the sample is consumed in fan-in chunks
+/// so one cached chunk serves the whole output tile.
+pub fn dense<S: Dot>(s: &S, input: &[S::Elem], in_shape: Shape, out: &mut [S::Elem], out_f: usize) {
+    let fan_in = in_shape.per_sample();
+    debug_assert_eq!(out.len(), in_shape.n * out_f);
+    for n in 0..in_shape.n {
+        let sample = &input[n * fan_in..(n + 1) * fan_in];
+        for o0 in (0..out_f).step_by(OC_TILE) {
+            let on = (out_f - o0).min(OC_TILE);
+            let mut acc = [s.init(o0); OC_TILE];
+            for (j, a) in acc.iter_mut().enumerate().take(on).skip(1) {
+                *a = s.init(o0 + j);
+            }
+            let mut start = 0;
+            while start < fan_in {
+                let len = (fan_in - start).min(FAN_CHUNK);
+                let x = &sample[start..start + len];
+                for (j, a) in acc.iter_mut().enumerate().take(on) {
+                    *a = s.dot(*a, x, (o0 + j) * fan_in + start);
+                }
+                start += len;
+            }
+            for (j, &a) in acc.iter().enumerate().take(on) {
+                out[n * out_f + o0 + j] = s.finish(a, o0 + j);
+            }
+        }
+    }
+}
+
+/// Max pooling (no padding) over `region` of the output map.
+pub fn max_pool(
+    input: &[f32],
+    in_shape: Shape,
+    out: &mut [f32],
+    k: usize,
+    stride: usize,
+    region: Region,
+) {
+    pool_impl(input, in_shape, out, k, stride, region, true)
+}
+
+/// Average pooling (no padding) over `region` of the output map.
+pub fn avg_pool(
+    input: &[f32],
+    in_shape: Shape,
+    out: &mut [f32],
+    k: usize,
+    stride: usize,
+    region: Region,
+) {
+    pool_impl(input, in_shape, out, k, stride, region, false)
+}
+
+fn pool_impl(
+    input: &[f32],
+    in_shape: Shape,
+    out: &mut [f32],
+    k: usize,
+    stride: usize,
+    region: Region,
+    is_max: bool,
+) {
+    let oh = (in_shape.h - k) / stride + 1;
+    let ow = (in_shape.w - k) / stride + 1;
+    let c = in_shape.c;
+    let os = Shape::new(in_shape.n, oh, ow, c);
+    debug_assert_eq!(out.len(), os.len());
+    let y_end = region.y_end().min(oh);
+    let x_end = region.x_end().min(ow);
+    let inv = 1.0 / (k * k) as f32;
+    for n in 0..in_shape.n {
+        for oy in region.y..y_end {
+            for ox in region.x..x_end {
+                let o_base = os.index(n, oy, ox, 0);
+                let cell = &mut out[o_base..o_base + c];
+                cell.fill(if is_max { f32::NEG_INFINITY } else { 0.0 });
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let i_base = in_shape.index(n, oy * stride + ky, ox * stride + kx, 0);
+                        let row = &input[i_base..i_base + c];
+                        if is_max {
+                            for (o, &v) in cell.iter_mut().zip(row) {
+                                *o = o.max(v);
+                            }
+                        } else {
+                            for (o, &v) in cell.iter_mut().zip(row) {
+                                *o += v;
+                            }
+                        }
+                    }
+                }
+                if !is_max {
+                    for o in cell.iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Global average pooling to `1×1` spatial extent.
+pub fn global_avg_pool(input: &[f32], in_shape: Shape, out: &mut [f32]) {
+    let c = in_shape.c;
+    debug_assert_eq!(out.len(), in_shape.n * c);
+    let inv = 1.0 / (in_shape.h * in_shape.w) as f32;
+    for n in 0..in_shape.n {
+        let cell = &mut out[n * c..(n + 1) * c];
+        cell.fill(0.0);
+        for y in 0..in_shape.h {
+            for x in 0..in_shape.w {
+                let base = in_shape.index(n, y, x, 0);
+                for (o, &v) in cell.iter_mut().zip(&input[base..base + c]) {
+                    *o += v;
+                }
+            }
+        }
+        for o in cell.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Elementwise addition of two same-shape maps over `region`.
+pub fn add(a: &[f32], b: &[f32], shape: Shape, out: &mut [f32], region: Region) {
+    for_row_runs(shape, region, |start, len| {
+        for ((o, &p), &q) in out[start..start + len]
+            .iter_mut()
+            .zip(&a[start..start + len])
+            .zip(&b[start..start + len])
+        {
+            *o = p + q;
+        }
+    });
+}
+
+/// ReLU over `region`: `max(v, 0)` clamped at `hi` when `hi` is finite
+/// (ReLU6 passes `6.0`, plain ReLU `f32::INFINITY`).
+pub fn relu(input: &[f32], shape: Shape, out: &mut [f32], hi: f32, region: Region) {
+    for_row_runs(shape, region, |start, len| {
+        if hi.is_finite() {
+            for (o, &v) in out[start..start + len].iter_mut().zip(&input[start..start + len]) {
+                *o = v.clamp(0.0, hi);
+            }
+        } else {
+            for (o, &v) in out[start..start + len].iter_mut().zip(&input[start..start + len]) {
+                *o = v.max(0.0);
+            }
+        }
+    });
+}
+
+/// Channel concatenation over `region`: each part's channels are copied
+/// into consecutive channel offsets of the output. Parts are consumed one
+/// at a time, so callers can stream them without materializing a slice of
+/// references.
+pub fn concat<'a>(
+    parts: impl IntoIterator<Item = (&'a [f32], Shape)>,
+    out: &mut [f32],
+    out_shape: Shape,
+    region: Region,
+) {
+    let y_end = region.y_end().min(out_shape.h);
+    let x_end = region.x_end().min(out_shape.w);
+    let mut c_off = 0;
+    for (data, s) in parts {
+        for n in 0..s.n {
+            for y in region.y..y_end {
+                for x in region.x..x_end {
+                    let src = s.index(n, y, x, 0);
+                    let dst = out_shape.index(n, y, x, c_off);
+                    out[dst..dst + s.c].copy_from_slice(&data[src..src + s.c]);
+                }
+            }
+        }
+        c_off += s.c;
+    }
+    debug_assert_eq!(c_off, out_shape.c);
+}
+
+/// Invokes `f(start, len)` for each contiguous row run of `region` inside
+/// `shape` (used by the pointwise kernels).
+fn for_row_runs(shape: Shape, region: Region, mut f: impl FnMut(usize, usize)) {
+    let y_end = region.y_end().min(shape.h);
+    let x_end = region.x_end().min(shape.w);
+    if x_end <= region.x {
+        return;
+    }
+    let len = (x_end - region.x) * shape.c;
+    for n in 0..shape.n {
+        for y in region.y..y_end {
+            f(shape.index(n, y, region.x, 0), len);
+        }
+    }
+}
+
+/// The pre-blocking reference loop nests.
+///
+/// These are the executors' original naive implementations, retained as
+/// the ground truth for the kernel-parity property tests and as the
+/// baseline the `kernels` criterion benchmark measures the blocked
+/// kernels against. They allocate their outputs and use per-element
+/// index arithmetic — exactly what the blocked kernels avoid.
+pub mod naive {
+    use quantmcu_tensor::{Shape, Tensor};
+
+    /// Naive standard convolution (OHWI weights, bias preloaded).
+    pub fn conv2d(
+        input: &Tensor,
+        weights: &[f32],
+        bias: &[f32],
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let is = input.shape();
+        let oh = (is.h + 2 * pad - k) / stride + 1;
+        let ow = (is.w + 2 * pad - k) / stride + 1;
+        let os = Shape::new(is.n, oh, ow, out_ch);
+        let mut out = Tensor::zeros(os);
+        for n in 0..is.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for (oc, &b) in bias.iter().enumerate().take(out_ch) {
+                        let mut acc = b;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= is.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= is.w {
+                                    continue;
+                                }
+                                let in_base = is.index(n, iy as usize, ix as usize, 0);
+                                let w_base = ((oc * k + ky) * k + kx) * is.c;
+                                for ic in 0..is.c {
+                                    acc += input.data()[in_base + ic] * weights[w_base + ic];
+                                }
+                            }
+                        }
+                        out.set(n, oy, ox, oc, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive depthwise convolution (`[kh][kw][c]` weights, bias preloaded).
+    pub fn dwconv(
+        input: &Tensor,
+        weights: &[f32],
+        bias: &[f32],
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let is = input.shape();
+        let oh = (is.h + 2 * pad - k) / stride + 1;
+        let ow = (is.w + 2 * pad - k) / stride + 1;
+        let os = Shape::new(is.n, oh, ow, is.c);
+        let mut out = Tensor::zeros(os);
+        for n in 0..is.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for c in 0..is.c {
+                        let mut acc = bias[c];
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= is.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= is.w {
+                                    continue;
+                                }
+                                acc += input.at(n, iy as usize, ix as usize, c)
+                                    * weights[(ky * k + kx) * is.c + c];
+                            }
+                        }
+                        out.set(n, oy, ox, c, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive dense layer (`[out][in]` weights, bias preloaded).
+    pub fn dense(input: &Tensor, weights: &[f32], bias: &[f32], out_f: usize) -> Tensor {
+        let is = input.shape();
+        let fan_in = is.per_sample();
+        let os = Shape::new(is.n, 1, 1, out_f);
+        let mut out = Tensor::zeros(os);
+        for n in 0..is.n {
+            let sample = &input.data()[n * fan_in..(n + 1) * fan_in];
+            for o in 0..out_f {
+                let row = &weights[o * fan_in..(o + 1) * fan_in];
+                let acc = sample.iter().zip(row).fold(bias[o], |a, (&x, &w)| a + x * w);
+                out.set(n, 0, 0, o, acc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_tensor::Tensor;
+
+    fn test_weights(len: usize, seed: u64) -> Vec<f32> {
+        (0..len).map(|i| (((i as u64 ^ seed) as f32) * 0.37).sin() * 0.5).collect()
+    }
+
+    #[test]
+    fn blocked_conv_matches_naive_bitwise() {
+        for (h, w, c, oc, k, stride, pad) in [
+            (7, 9, 3, 5, 3, 1, 1),
+            (8, 8, 4, 16, 3, 2, 0),
+            (5, 5, 2, 9, 5, 1, 2),
+            (6, 6, 1, 1, 1, 1, 0),
+        ] {
+            let input = Tensor::from_fn(Shape::hwc(h, w, c), |i| ((i as f32) * 0.11).sin());
+            let weights = test_weights(oc * k * k * c, 3);
+            let bias = test_weights(oc, 7);
+            let reference = naive::conv2d(&input, &weights, &bias, oc, k, stride, pad);
+            let mut out = vec![0.0f32; reference.shape().len()];
+            conv2d(
+                &FloatDot { weights: &weights, bias: &bias },
+                input.data(),
+                input.shape(),
+                &mut out,
+                oc,
+                k,
+                stride,
+                pad,
+                reference.shape().full_region(),
+            );
+            assert_eq!(
+                out,
+                reference.data(),
+                "conv2d h={h} w={w} c={c} oc={oc} k={k} s={stride} p={pad}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_dwconv_matches_naive_bitwise() {
+        for (h, w, c, k, stride, pad) in
+            [(7, 9, 3, 3, 1, 1), (8, 8, 20, 3, 2, 1), (5, 5, 17, 5, 1, 2)]
+        {
+            let input = Tensor::from_fn(Shape::hwc(h, w, c), |i| ((i as f32) * 0.23).cos());
+            let weights = test_weights(k * k * c, 5);
+            let bias = test_weights(c, 11);
+            let reference = naive::dwconv(&input, &weights, &bias, k, stride, pad);
+            let mut out = vec![0.0f32; reference.shape().len()];
+            dwconv(
+                &FloatDot { weights: &weights, bias: &bias },
+                input.data(),
+                input.shape(),
+                &mut out,
+                k,
+                stride,
+                pad,
+                reference.shape().full_region(),
+            );
+            assert_eq!(out, reference.data(), "dwconv h={h} w={w} c={c} k={k} s={stride} p={pad}");
+        }
+    }
+
+    #[test]
+    fn blocked_dense_matches_naive_bitwise() {
+        for (h, w, c, of) in [(4, 4, 3, 10), (1, 1, 600, 17), (3, 5, 7, 1)] {
+            let input = Tensor::from_fn(Shape::hwc(h, w, c), |i| ((i as f32) * 0.31).sin());
+            let fan_in = input.shape().per_sample();
+            let weights = test_weights(of * fan_in, 13);
+            let bias = test_weights(of, 17);
+            let reference = naive::dense(&input, &weights, &bias, of);
+            let mut out = vec![0.0f32; of];
+            dense(
+                &FloatDot { weights: &weights, bias: &bias },
+                input.data(),
+                input.shape(),
+                &mut out,
+                of,
+            );
+            assert_eq!(out, reference.data());
+        }
+    }
+
+    #[test]
+    fn region_restricted_conv_only_touches_region() {
+        let input = Tensor::from_fn(Shape::hwc(8, 8, 2), |i| i as f32 * 0.01);
+        let weights = test_weights(4 * 9 * 2, 19);
+        let bias = vec![0.0; 4];
+        let full = naive::conv2d(&input, &weights, &bias, 4, 3, 1, 1);
+        let region = Region::new(2, 3, 3, 4);
+        let mut out = vec![f32::NAN; full.shape().len()];
+        conv2d(
+            &FloatDot { weights: &weights, bias: &bias },
+            input.data(),
+            input.shape(),
+            &mut out,
+            4,
+            3,
+            1,
+            1,
+            region,
+        );
+        let os = full.shape();
+        for y in 0..os.h {
+            for x in 0..os.w {
+                for ch in 0..os.c {
+                    let v = out[os.index(0, y, x, ch)];
+                    let inside =
+                        y >= region.y && y < region.y_end() && x >= region.x && x < region.x_end();
+                    if inside {
+                        assert_eq!(v, full.at(0, y, x, ch));
+                    } else {
+                        assert!(v.is_nan(), "position ({y},{x},{ch}) written outside region");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pools_match_direct_computation() {
+        let input = Tensor::from_fn(Shape::hwc(4, 4, 3), |i| (i as f32 * 1.7).sin());
+        let is = input.shape();
+        let mut max_out = vec![0.0f32; 2 * 2 * 3];
+        let mut avg_out = vec![0.0f32; 2 * 2 * 3];
+        let region = Region::new(0, 0, 2, 2);
+        max_pool(input.data(), is, &mut max_out, 2, 2, region);
+        avg_pool(input.data(), is, &mut avg_out, 2, 2, region);
+        let os = Shape::hwc(2, 2, 3);
+        for oy in 0..2 {
+            for ox in 0..2 {
+                for ch in 0..3 {
+                    let vals = [
+                        input.at(0, oy * 2, ox * 2, ch),
+                        input.at(0, oy * 2, ox * 2 + 1, ch),
+                        input.at(0, oy * 2 + 1, ox * 2, ch),
+                        input.at(0, oy * 2 + 1, ox * 2 + 1, ch),
+                    ];
+                    let m = vals.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
+                    let s: f32 = vals.iter().sum();
+                    assert_eq!(max_out[os.index(0, oy, ox, ch)], m);
+                    assert!((avg_out[os.index(0, oy, ox, ch)] - s / 4.0).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concat_add_relu_cover_full_region() {
+        let a = Tensor::from_fn(Shape::hwc(3, 3, 2), |i| i as f32 - 8.0);
+        let b = Tensor::from_fn(Shape::hwc(3, 3, 1), |i| -(i as f32));
+        let out_shape = Shape::hwc(3, 3, 3);
+        let mut out = vec![0.0f32; out_shape.len()];
+        concat(
+            [(a.data(), a.shape()), (b.data(), b.shape())],
+            &mut out,
+            out_shape,
+            out_shape.full_region(),
+        );
+        assert_eq!(out[out_shape.index(0, 1, 1, 0)], a.at(0, 1, 1, 0));
+        assert_eq!(out[out_shape.index(0, 1, 1, 2)], b.at(0, 1, 1, 0));
+
+        let mut sum = vec![0.0f32; a.shape().len()];
+        add(a.data(), a.data(), a.shape(), &mut sum, a.shape().full_region());
+        assert_eq!(sum[3], 2.0 * a.data()[3]);
+
+        let mut r6 = vec![0.0f32; a.shape().len()];
+        relu(a.data(), a.shape(), &mut r6, 6.0, a.shape().full_region());
+        assert!(r6.iter().all(|&v| (0.0..=6.0).contains(&v)));
+        let mut r = vec![0.0f32; a.shape().len()];
+        relu(a.data(), a.shape(), &mut r, f32::INFINITY, a.shape().full_region());
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[16], a.data()[16].max(0.0));
+    }
+}

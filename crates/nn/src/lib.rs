@@ -45,6 +45,7 @@ mod error;
 pub mod exec;
 mod graph;
 pub mod init;
+pub mod kernels;
 pub mod receptive;
 mod spec;
 

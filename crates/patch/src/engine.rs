@@ -1,4 +1,5 @@
 use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::kernels::{self, FloatDot};
 use quantmcu_nn::{Graph, GraphSpec, OpSpec, Source};
 use quantmcu_tensor::{QuantParams, Region, Tensor};
 
@@ -184,7 +185,8 @@ fn fake_quant_region(t: &Tensor, region: Region, params: &QuantParams) -> Tensor
     out
 }
 
-/// Evaluates a spatial operator only within `region` of the output map.
+/// Evaluates a spatial operator only within `region` of the output map by
+/// dispatching into the shared kernel layer ([`quantmcu_nn::kernels`]).
 /// Reads outside the input map's bounds behave as zero padding, exactly
 /// like full execution.
 fn eval_region(
@@ -198,129 +200,37 @@ fn eval_region(
     let input = inputs[0];
     let is = input.shape();
     let os = out.shape();
-    let region_y_end = region.y_end().min(os.h);
-    let region_x_end = region.x_end().min(os.w);
+    let dot = FloatDot { weights, bias };
     match op {
-        OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        for (oc, &b) in bias.iter().enumerate().take(out_ch) {
-                            let mut acc = b;
-                            for ky in 0..kernel {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy as usize >= is.h {
-                                    continue;
-                                }
-                                for kx in 0..kernel {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix as usize >= is.w {
-                                        continue;
-                                    }
-                                    let ib = is.index(n, iy as usize, ix as usize, 0);
-                                    let wb = ((oc * kernel + ky) * kernel + kx) * is.c;
-                                    for ic in 0..is.c {
-                                        acc += input.data()[ib + ic] * weights[wb + ic];
-                                    }
-                                }
-                            }
-                            out.set(n, oy, ox, oc, acc);
-                        }
-                    }
-                }
-            }
-        }
+        OpSpec::Conv2d { out_ch, kernel, stride, pad } => kernels::conv2d(
+            &dot,
+            input.data(),
+            is,
+            out.data_mut(),
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            region,
+        ),
         OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        for c in 0..is.c {
-                            let mut acc = bias[c];
-                            for ky in 0..kernel {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy as usize >= is.h {
-                                    continue;
-                                }
-                                for kx in 0..kernel {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix as usize >= is.w {
-                                        continue;
-                                    }
-                                    acc += input.at(n, iy as usize, ix as usize, c)
-                                        * weights[(ky * kernel + kx) * is.c + c];
-                                }
-                            }
-                            out.set(n, oy, ox, c, acc);
-                        }
-                    }
-                }
-            }
+            kernels::dwconv(&dot, input.data(), is, out.data_mut(), kernel, stride, pad, region)
         }
-        OpSpec::MaxPool { kernel, stride } | OpSpec::AvgPool { kernel, stride } => {
-            let is_max = matches!(op, OpSpec::MaxPool { .. });
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        for c in 0..is.c {
-                            let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
-                            for ky in 0..kernel {
-                                for kx in 0..kernel {
-                                    let v = input.at(n, oy * stride + ky, ox * stride + kx, c);
-                                    if is_max {
-                                        acc = acc.max(v);
-                                    } else {
-                                        acc += v;
-                                    }
-                                }
-                            }
-                            if !is_max {
-                                acc /= (kernel * kernel) as f32;
-                            }
-                            out.set(n, oy, ox, c, acc);
-                        }
-                    }
-                }
-            }
+        OpSpec::MaxPool { kernel, stride } => {
+            kernels::max_pool(input.data(), is, out.data_mut(), kernel, stride, region)
         }
-        OpSpec::Relu | OpSpec::Relu6 => {
-            let hi = if matches!(op, OpSpec::Relu6) { 6.0 } else { f32::INFINITY };
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        for c in 0..is.c {
-                            out.set(n, oy, ox, c, input.at(n, oy, ox, c).clamp(0.0, hi));
-                        }
-                    }
-                }
-            }
+        OpSpec::AvgPool { kernel, stride } => {
+            kernels::avg_pool(input.data(), is, out.data_mut(), kernel, stride, region)
         }
-        OpSpec::Add => {
-            let b = inputs[1];
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        for c in 0..is.c {
-                            out.set(n, oy, ox, c, input.at(n, oy, ox, c) + b.at(n, oy, ox, c));
-                        }
-                    }
-                }
-            }
-        }
-        OpSpec::Concat => {
-            for n in 0..is.n {
-                for oy in region.y..region_y_end {
-                    for ox in region.x..region_x_end {
-                        let mut base = 0;
-                        for t in inputs {
-                            for c in 0..t.shape().c {
-                                out.set(n, oy, ox, base + c, t.at(n, oy, ox, c));
-                            }
-                            base += t.shape().c;
-                        }
-                    }
-                }
-            }
-        }
+        OpSpec::Relu => kernels::relu(input.data(), is, out.data_mut(), f32::INFINITY, region),
+        OpSpec::Relu6 => kernels::relu(input.data(), is, out.data_mut(), 6.0, region),
+        OpSpec::Add => kernels::add(input.data(), inputs[1].data(), os, out.data_mut(), region),
+        OpSpec::Concat => kernels::concat(
+            inputs.iter().map(|t| (t.data(), t.shape())),
+            out.data_mut(),
+            os,
+            region,
+        ),
         _ => unreachable!("non-spatial operator {op} cannot appear in a per-patch stage"),
     }
 }

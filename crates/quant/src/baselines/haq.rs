@@ -46,7 +46,7 @@ pub fn run(
     let start = Instant::now();
     let spec = graph.spec();
     let ranges = calibrate_ranges(graph, calib)?;
-    let float_exec = FloatExecutor::new(graph);
+    let mut float_exec = FloatExecutor::new(graph);
     let float_outputs: Vec<Tensor> =
         eval.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
 
@@ -55,7 +55,7 @@ pub fn run(
     let mut rng = StdRng::seed_from_u64(seed);
 
     let evaluate = |bits: &[Bitwidth]| -> Result<f64, GraphError> {
-        let qe = QuantExecutor::new(graph, &ranges, bits, Bitwidth::W8)?;
+        let mut qe = QuantExecutor::new(graph, &ranges, bits, Bitwidth::W8)?;
         let mut mse = 0.0f64;
         for (input, fref) in eval.iter().zip(&float_outputs) {
             let q = qe.run(input)?;

@@ -34,13 +34,11 @@ pub fn run(
 ) -> Result<QuantizerOutcome, GraphError> {
     let start = Instant::now();
     let spec = graph.spec();
-    let exec = FloatExecutor::new(graph);
+    let mut exec = FloatExecutor::new(graph);
     // Gather per-feature-map values across the calibration set.
     let mut fm_values: Vec<Vec<f32>> = vec![Vec::new(); spec.feature_map_count()];
     for input in calib {
-        for (fm, t) in exec.run_trace(input)?.into_iter().enumerate() {
-            fm_values[fm].extend_from_slice(t.data());
-        }
+        exec.run_with(input, |fm, t| fm_values[fm.0].extend_from_slice(t.data()))?;
     }
     let mut ranges = Vec::with_capacity(fm_values.len());
     for values in &fm_values {

@@ -1,0 +1,172 @@
+//! Reusable feature-map buffer pool.
+//!
+//! Executors allocate one buffer per live feature map; a naive interpreter
+//! would `Vec::with_capacity` each of them on every inference, which on an
+//! MCU-class memory budget (and on a host running thousands of calibration
+//! traces) is exactly the discipline the paper's patch scheduling exists to
+//! avoid. [`Arena`] keeps returned buffers on a free list and hands them
+//! back out by best fit, so a steady-state inference loop performs zero
+//! heap allocations once every shape has been seen once.
+
+use std::fmt;
+
+/// A best-fit pool of reusable `Vec<T>` buffers.
+///
+/// [`Arena::take`] returns a buffer of exactly the requested length,
+/// preferring the smallest free buffer whose capacity suffices; only when
+/// none fits does it allocate. [`Arena::give`] returns a buffer to the
+/// pool. Because the take/give sequence of a fixed graph is deterministic,
+/// the pool reaches a fixed point after one warm-up run and every later
+/// run is allocation-free — [`Arena::fresh_allocations`] counts the
+/// warm-up misses so tests can assert that.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_tensor::Arena;
+///
+/// let mut arena: Arena<f32> = Arena::new();
+/// let buf = arena.take(16);
+/// assert_eq!(buf.len(), 16);
+/// arena.give(buf);
+/// let again = arena.take(8); // reuses the 16-capacity buffer
+/// assert_eq!(arena.fresh_allocations(), 1);
+/// assert_eq!(again.len(), 8);
+/// ```
+pub struct Arena<T> {
+    free: Vec<Vec<T>>,
+    fresh_allocations: usize,
+}
+
+impl<T: Copy + Default> Arena<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Arena { free: Vec::new(), fresh_allocations: 0 }
+    }
+
+    /// Takes a buffer of length `len`. The contents are **unspecified**
+    /// scratch (a reused buffer keeps its previous values; only freshly
+    /// grown elements are `T::default()`) — callers must overwrite every
+    /// element. This keeps steady-state reuse free of redundant fills.
+    ///
+    /// Reuses the smallest free buffer whose capacity is at least `len`;
+    /// allocates a fresh one only when none fits.
+    pub fn take(&mut self, len: usize) -> Vec<T> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.map_or(true, |b| buf.capacity() < self.free[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                self.fresh_allocations += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, T::default());
+        }
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<T>) {
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// How many times [`Arena::take`] had to allocate a fresh buffer
+    /// because no pooled one fit. Stops growing once the pool has warmed
+    /// up over a fixed take/give schedule.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_allocations
+    }
+}
+
+impl<T: Copy + Default> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arena")
+            .field("free_buffers", &self.free.len())
+            .field("fresh_allocations", &self.fresh_allocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_buffers() {
+        let mut a: Arena<f32> = Arena::new();
+        let b1 = a.take(100);
+        a.give(b1);
+        let b2 = a.take(50);
+        assert_eq!(b2.len(), 50);
+        assert!(b2.capacity() >= 100, "should reuse the 100-capacity buffer");
+        assert_eq!(a.fresh_allocations(), 1);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut a: Arena<i32> = Arena::new();
+        a.give(Vec::with_capacity(200));
+        a.give(Vec::with_capacity(60));
+        a.give(Vec::with_capacity(100));
+        let b = a.take(80);
+        assert_eq!(b.capacity(), 100);
+        assert_eq!(a.fresh_allocations(), 0);
+    }
+
+    #[test]
+    fn steady_state_schedule_is_allocation_free() {
+        let mut a: Arena<f32> = Arena::new();
+        let schedule = [64usize, 128, 32, 256, 128];
+        // Warm-up run: take all, give all back.
+        let bufs: Vec<_> = schedule.iter().map(|&l| a.take(l)).collect();
+        for b in bufs {
+            a.give(b);
+        }
+        let after_warmup = a.fresh_allocations();
+        for _ in 0..10 {
+            let bufs: Vec<_> = schedule.iter().map(|&l| a.take(l)).collect();
+            for b in bufs {
+                a.give(b);
+            }
+        }
+        assert_eq!(a.fresh_allocations(), after_warmup);
+    }
+
+    #[test]
+    fn reused_buffers_have_exact_length_and_unspecified_contents() {
+        let mut a: Arena<f32> = Arena::new();
+        let mut b = a.take(6);
+        b.copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        a.give(b);
+        // Shrinking reuse truncates without touching the payload.
+        let b2 = a.take(4);
+        assert_eq!(b2.len(), 4);
+        a.give(b2);
+        // Growing reuse default-fills only the grown tail.
+        let b3 = a.take(6);
+        assert_eq!(b3.len(), 6);
+        assert_eq!(b3[4], 0.0);
+        assert_eq!(b3[5], 0.0);
+    }
+}

@@ -5,6 +5,8 @@
 //!
 //! * [`Shape`] / [`Region`] — NHWC shapes and spatial crops (patches).
 //! * [`Tensor`] — a dense `f32` NHWC tensor.
+//! * [`Arena`] — a best-fit pool of reusable feature-map buffers, the
+//!   allocation-free substrate of the executors in `quantmcu_nn`.
 //! * [`Bitwidth`] — the quantization bitwidths supported by the paper
 //!   (8/4/2-bit activations, plus 16/32 for accounting).
 //! * [`QuantParams`] / [`QTensor`] — affine quantization parameters and
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bitwidth;
 mod error;
 pub mod pack;
@@ -38,6 +41,7 @@ mod shape;
 pub mod stats;
 mod tensor;
 
+pub use arena::Arena;
 pub use bitwidth::Bitwidth;
 pub use error::TensorError;
 pub use qtensor::QTensor;

@@ -1,0 +1,64 @@
+//! Offline stand-in for the crates.io [`alloc_counter`] crate: a global
+//! allocator that wraps the system allocator and counts every allocation
+//! and reallocation.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! pulled in. This shim provides the one capability the workspace's
+//! allocation-regression tests need: install [`CountingAllocator`] as the
+//! `#[global_allocator]` and read [`allocation_count`] before/after a
+//! code region to assert it performed no heap allocations.
+//!
+//! This is the only crate in the workspace allowed to use `unsafe`
+//! (implementing [`GlobalAlloc`] requires it); everything else stays
+//! `forbid(unsafe_code)`.
+//!
+//! [`alloc_counter`]: https://crates.io/crates/alloc_counter
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A system-allocator wrapper that counts `alloc` and `realloc` calls.
+///
+/// Install it in a test binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed atomic counter
+// increment, which cannot affect allocation semantics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that grows is a fresh allocation from the caller's
+        // perspective; count it.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total number of heap allocations (including reallocations) performed
+/// through [`CountingAllocator`] so far.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -9,10 +9,11 @@
 //! deliberately does **not** do is shrinking — a failing case is reported
 //! as drawn, not minimized — and persistence of failing seeds.
 //!
-//! Supported surface: [`Strategy`] (ranges over the primitive numeric
-//! types, [`Just`], unions via [`prop_oneof!`], `prop::collection::vec`,
-//! `prop::sample::select`), [`ProptestConfig`], the [`proptest!`] macro
-//! and the `prop_assert*` / [`prop_assume!`] macros.
+//! Supported surface: [`Strategy`](strategy::Strategy) (ranges over the
+//! primitive numeric types, [`Just`](strategy::Just), unions via
+//! [`prop_oneof!`], `prop::collection::vec`, `prop::sample::select`),
+//! [`ProptestConfig`](test_runner::ProptestConfig), the [`proptest!`]
+//! macro and the `prop_assert*` / [`prop_assume!`] macros.
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
 

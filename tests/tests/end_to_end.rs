@@ -56,7 +56,7 @@ fn deployed_accuracy_stays_close_to_float() {
     let deployment = Deployment::new(&g, plan).unwrap();
     let inputs = eval(24);
     let quant = deployment.run_batch(&inputs).unwrap();
-    let float_exec = FloatExecutor::new(&g);
+    let mut float_exec = FloatExecutor::new(&g);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = agreement_top1(&float, &quant);
     assert!(fidelity >= 0.8, "fidelity {fidelity}");
@@ -88,7 +88,7 @@ fn pipeline_works_across_the_model_zoo() {
 fn ablation_never_beats_protected_plan_on_fidelity() {
     let g = graph(Model::MobileNetV2);
     let inputs = eval(24);
-    let float_exec = FloatExecutor::new(&g);
+    let mut float_exec = FloatExecutor::new(&g);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = |cfg: QuantMcuConfig| {
         let plan = Planner::new(cfg).plan(&g, &calib(6), SRAM).unwrap();
