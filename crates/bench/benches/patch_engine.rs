@@ -34,7 +34,7 @@ fn patch_vs_layer(c: &mut Criterion) {
     });
     for grid in [2usize, 3, 4] {
         let plan = PatchPlan::new(g.spec(), 5, grid, grid).expect("plan");
-        let pe = PatchExecutor::new(&g, plan).expect("executor");
+        let mut pe = PatchExecutor::new(&g, plan).expect("executor");
         group.bench_with_input(BenchmarkId::new("patched", grid), &grid, |b, _| {
             b.iter(|| pe.run(&x).expect("run"))
         });

@@ -1,0 +1,87 @@
+//! Planner-throughput measurement emitting `BENCH_plan.json`, so the
+//! planning-speed trajectory is machine-readable across revisions.
+//!
+//! Runs `Planner::plan` over a ~32-image synthetic calibration set at a
+//! sweep of worker counts, reports wall clock and speedup versus serial,
+//! and cross-checks that every worker count produced a bit-identical
+//! plan (the determinism contract the parallel prologue guarantees).
+//!
+//! Set `QUANTMCU_SMOKE=1` to shrink the calibration set and repetition
+//! count for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use quantmcu::models::Model;
+use quantmcu::tensor::Tensor;
+use quantmcu::{DeploymentPlan, Planner, QuantMcuConfig};
+use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
+
+/// Best-of-N wall clock for one worker count, plus the produced plan.
+fn measure(
+    graph: &quantmcu::nn::Graph,
+    calib: &[Tensor],
+    workers: usize,
+    reps: usize,
+) -> (Duration, DeploymentPlan) {
+    let planner = Planner::new(QuantMcuConfig { workers, ..QuantMcuConfig::paper() });
+    let mut best = Duration::MAX;
+    let mut plan = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let p = planner.plan(graph, calib, EXEC_SRAM).expect("plan");
+        best = best.min(start.elapsed());
+        plan = Some(p);
+    }
+    (best, plan.expect("at least one rep"))
+}
+
+/// Strips the wall-clock field so plans compare bit-for-bit.
+fn timeless(mut plan: DeploymentPlan) -> DeploymentPlan {
+    plan.search_time = Duration::ZERO;
+    plan
+}
+
+fn main() {
+    let (images, reps) = if smoke() { (8, 1) } else { (32, 3) };
+    let graph = exec_graph(Model::MobileNetV2);
+    let ds = exec_dataset();
+    let calib: Vec<Tensor> = ds.images(images);
+    let host_parallelism = quantmcu::default_workers();
+
+    println!("Planner throughput: {images}-image calibration set, best of {reps}\n");
+    let (serial_time, serial_plan) = measure(&graph, &calib, 1, reps);
+    let serial_plan = timeless(serial_plan);
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (time, plan) = if workers == 1 {
+            (serial_time, serial_plan.clone())
+        } else {
+            let (t, p) = measure(&graph, &calib, workers, reps);
+            (t, timeless(p))
+        };
+        let identical = plan == serial_plan;
+        let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
+        println!(
+            "  workers = {workers}: {:8.1} ms  speedup {speedup:4.2}x  bit-identical: {identical}",
+            time.as_secs_f64() * 1e3
+        );
+        assert!(identical, "worker count {workers} changed the plan");
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"speedup\": {speedup:.4}, \
+             \"bit_identical\": {identical}}}",
+            time.as_secs_f64()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"planner_throughput\",\n  \"model\": \"MobileNetV2 (exec scale)\",\n  \
+         \"calibration_images\": {images},\n  \"reps\": {reps},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Smoke runs exist to catch runtime panics; don't let their shrunken
+    // measurements clobber the committed full-config snapshot.
+    let path = if smoke() { "BENCH_plan.smoke.json" } else { "BENCH_plan.json" };
+    std::fs::write(path, &json).expect("write plan benchmark JSON");
+    println!("\nwrote {path} ({} bytes)", json.len());
+}

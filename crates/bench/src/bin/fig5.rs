@@ -30,7 +30,7 @@ fn main() {
         let cfg = QuantMcuConfig { vdpc: VdpcConfig::with_phi(phi), ..QuantMcuConfig::paper() };
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let outliers = plan.outlier_patch_count();
-        let deployment = Deployment::new(&graph, plan).expect("deploy");
+        let mut deployment = Deployment::new(&graph, plan).expect("deploy");
         let quant = deployment.run_batch(&eval).expect("run");
         let top1_fid = agreement_top1(&float, &quant);
         // Top-5 fidelity: the float argmax appears in the quantized top-5.

@@ -31,7 +31,7 @@ fn main() {
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let bitops = plan.bitops();
         let mean_bits = plan.mean_branch_bits();
-        let deployment = Deployment::new(&graph, plan).expect("deploy");
+        let mut deployment = Deployment::new(&graph, plan).expect("deploy");
         let quant = deployment.run_batch(&eval).expect("run");
         let fidelity = agreement_top1(&float, &quant);
         let top1 =

@@ -24,6 +24,22 @@ pub const CALIB_IMAGES: usize = 8;
 /// Evaluation images used for fidelity measurements.
 pub const EVAL_IMAGES: usize = 64;
 
+/// `true` when `QUANTMCU_SMOKE` is set: the reproduction binaries shrink
+/// their evaluation sets so CI can execute them end to end (catching
+/// runtime panics, not just compile errors) in seconds.
+pub fn smoke() -> bool {
+    std::env::var_os("QUANTMCU_SMOKE").is_some()
+}
+
+/// Evaluation-set size honoring smoke mode.
+pub fn eval_images() -> usize {
+    if smoke() {
+        8
+    } else {
+        EVAL_IMAGES
+    }
+}
+
 /// SRAM budget for exec-scale experiments. Exec-scale activations are a
 /// few kilobytes, so 8 KB plays the role 256 KB plays for the real
 /// MCU-scale models: it forces a non-trivial patch stage and makes the
@@ -51,9 +67,9 @@ pub fn calibration(ds: &ClassificationDataset) -> Vec<Tensor> {
     ds.images(CALIB_IMAGES)
 }
 
-/// Evaluation batch (disjoint from calibration).
+/// Evaluation batch (disjoint from calibration; smaller in smoke mode).
 pub fn evaluation(ds: &ClassificationDataset) -> Vec<Tensor> {
-    (CALIB_IMAGES..CALIB_IMAGES + EVAL_IMAGES).map(|i| ds.sample(i).0).collect()
+    (CALIB_IMAGES..CALIB_IMAGES + eval_images()).map(|i| ds.sample(i).0).collect()
 }
 
 /// Top-1 agreement of a deployment against the float model over `inputs`.
@@ -66,7 +82,7 @@ pub fn deployment_fidelity(
     plan: DeploymentPlan,
     inputs: &[Tensor],
 ) -> Result<f64, PlanError> {
-    let deployment = Deployment::new(graph, plan)?;
+    let mut deployment = Deployment::new(graph, plan)?;
     let quant = deployment.run_batch(inputs)?;
     let mut float_exec = FloatExecutor::new(graph);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
@@ -118,7 +134,7 @@ mod tests {
         let c = calibration(&ds);
         let e = evaluation(&ds);
         assert_eq!(c.len(), CALIB_IMAGES);
-        assert_eq!(e.len(), EVAL_IMAGES);
+        assert_eq!(e.len(), eval_images());
         assert!(c.iter().all(|ci| e.iter().all(|ei| ci != ei)));
     }
 }

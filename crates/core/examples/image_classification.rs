@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // MCUNetV2-style uniform 8-bit patch deployment.
     let plan8 = planner.plan_uniform(&graph, &calibration, Bitwidth::W8, 16 * 1024)?;
-    let dep8 = Deployment::new(&graph, plan8)?;
+    let mut dep8 = Deployment::new(&graph, plan8)?;
     let out8 = dep8.run_batch(&images)?;
     println!(
         "8-bit patches: agreement with float = {:.1}%",
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.bitops() as f64 / 1e6,
         plan.baseline_patch_bitops() as f64 / 1e6
     );
-    let dep = Deployment::new(&graph, plan)?;
+    let mut dep = Deployment::new(&graph, plan)?;
     let out = dep.run_batch(&images)?;
     println!(
         "QuantMCU:      agreement with float = {:.1}%",

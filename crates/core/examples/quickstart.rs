@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run the quantized deployment on a fresh image.
     let (image, label) = dataset.sample(100);
-    let deployment = Deployment::new(&graph, plan)?;
+    let mut deployment = Deployment::new(&graph, plan)?;
     let output = deployment.run(&image)?;
     println!("label {label}, predicted class {:?}", output.argmax(0));
     Ok(())

@@ -28,6 +28,12 @@ pub struct QuantMcuConfig {
     /// When `false`, VDPC is bypassed and every patch is treated as
     /// non-outlier — the "QuantMCU w/o VDPC" ablation of Fig. 4.
     pub enable_vdpc: bool,
+    /// Worker threads for the planner's calibration prologue and the
+    /// batch-inference drivers. Defaults to the host's available
+    /// parallelism; `1` forces the exact serial code path. The produced
+    /// [`DeploymentPlan`](crate::DeploymentPlan) is bit-identical for
+    /// every worker count — parallelism only changes wall clock.
+    pub workers: usize,
 }
 
 impl QuantMcuConfig {
@@ -40,6 +46,7 @@ impl QuantMcuConfig {
             grid: 3,
             weight_bits: Bitwidth::W8,
             enable_vdpc: true,
+            workers: default_workers(),
         }
     }
 
@@ -47,6 +54,12 @@ impl QuantMcuConfig {
     pub fn without_vdpc() -> Self {
         QuantMcuConfig { enable_vdpc: false, ..QuantMcuConfig::paper() }
     }
+}
+
+/// The default worker count: the host's available parallelism, or 1 when
+/// it cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 impl Default for QuantMcuConfig {
@@ -66,5 +79,7 @@ mod tests {
         assert_eq!(cfg.weight_bits, Bitwidth::W8);
         assert!(cfg.enable_vdpc);
         assert!(!QuantMcuConfig::without_vdpc().enable_vdpc);
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.workers, default_workers());
     }
 }

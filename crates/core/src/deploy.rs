@@ -1,4 +1,4 @@
-use quantmcu_nn::exec::QuantExecutor;
+use quantmcu_nn::exec::{CompiledGraph, ExecState};
 use quantmcu_nn::{Graph, GraphError};
 use quantmcu_patch::{PatchExecutor, PatchOutput};
 use quantmcu_tensor::{QuantParams, Tensor};
@@ -13,11 +13,21 @@ use crate::plan::DeploymentPlan;
 /// per-branch fake quantization; the tail runs through the integer
 /// executor. Both paths mirror what the MCU kernels compute (see the
 /// `quantmcu_nn::exec` docs for the validation of that equivalence).
+///
+/// The tail is quantization-compiled **once** at construction (weights
+/// regrouped and quantized, requantization tables built) and reused for
+/// every inference; the patch stage writes into a persistent scratch
+/// [`PatchOutput`], so per-inference heap traffic is limited to the
+/// returned output tensors.
 #[derive(Debug)]
 pub struct Deployment<'g> {
     executor: PatchExecutor<'g>,
     branch_params: Vec<Vec<QuantParams>>,
-    tail_graph: Graph,
+    /// The tail, compiled with the plan's tail quantization.
+    tail: CompiledGraph,
+    tail_state: ExecState,
+    /// Reused patch-stage output buffers.
+    scratch: PatchOutput,
     plan: DeploymentPlan,
 }
 
@@ -44,8 +54,15 @@ impl<'g> Deployment<'g> {
         let spec = graph.spec();
         let (_, tail_spec) = spec.split_at(split)?;
         let tail_params = (split..spec.len()).map(|i| graph.params(i).clone()).collect();
-        let tail_graph = Graph::new(tail_spec, tail_params);
-        Ok(Deployment { executor, branch_params, tail_graph, plan })
+        let tail = CompiledGraph::with_quantization(
+            Graph::new(tail_spec, tail_params),
+            &plan.tail_ranges,
+            &plan.tail_bits,
+            plan.weight_bits,
+        )?;
+        let tail_state = ExecState::for_graph(&tail);
+        let scratch = executor.make_output();
+        Ok(Deployment { executor, branch_params, tail, tail_state, scratch, plan })
     }
 
     /// The plan being executed.
@@ -59,32 +76,20 @@ impl<'g> Deployment<'g> {
     /// # Errors
     ///
     /// Returns [`PlanError`] for input-shape mismatches.
-    pub fn run(&self, input: &Tensor) -> Result<Tensor, PlanError> {
-        Ok(self.run_batch(std::slice::from_ref(input))?.pop().expect("one output"))
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, PlanError> {
+        self.executor.run_stage_into(input, Some(&self.branch_params), &mut self.scratch)?;
+        Ok(self.tail.run_quant(&mut self.tail_state, &self.scratch.stage_output)?)
     }
 
-    /// Runs a batch, returning one output per input. The tail's integer
-    /// executor (weight quantization included) is built once for the whole
-    /// batch.
+    /// Runs a batch, returning one output per input. The tail's compiled
+    /// integer executor (weight quantization included) is shared by every
+    /// inference.
     ///
     /// # Errors
     ///
     /// Returns the first input's error, if any.
-    pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PlanError> {
-        let mut tail_exec = QuantExecutor::new(
-            &self.tail_graph,
-            &self.plan.tail_ranges,
-            &self.plan.tail_bits,
-            self.plan.weight_bits,
-        )?;
-        inputs
-            .iter()
-            .map(|input| {
-                let PatchOutput { stage_output, .. } =
-                    self.executor.run_quantized(input, Some(&self.branch_params))?;
-                Ok(tail_exec.run(&stage_output)?)
-            })
-            .collect()
+    pub fn run_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PlanError> {
+        inputs.iter().map(|input| self.run(input)).collect()
     }
 }
 
@@ -122,7 +127,7 @@ mod tests {
         let g = graph();
         let calib = inputs(4);
         let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib, 256 * 1024).unwrap();
-        let dep = Deployment::new(&g, plan).unwrap();
+        let mut dep = Deployment::new(&g, plan).unwrap();
         let test = inputs(8);
         let quant_outs = dep.run_batch(&test).unwrap();
         let mut float_exec = FloatExecutor::new(&g);
@@ -147,7 +152,7 @@ mod tests {
         let mut float_exec = FloatExecutor::new(&g);
         let mut fidelity = |cfg: QuantMcuConfig| -> usize {
             let plan = Planner::new(cfg).plan(&g, &calib, 256 * 1024).unwrap();
-            let dep = Deployment::new(&g, plan).unwrap();
+            let mut dep = Deployment::new(&g, plan).unwrap();
             test.iter()
                 .filter(|t| dep.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0))
                 .count()

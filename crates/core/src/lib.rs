@@ -44,7 +44,7 @@ mod error;
 mod pipeline;
 mod plan;
 
-pub use config::QuantMcuConfig;
+pub use config::{default_workers, QuantMcuConfig};
 pub use deploy::Deployment;
 pub use error::PlanError;
 pub use pipeline::Planner;

@@ -1,12 +1,12 @@
 use std::time::Instant;
 
-use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::exec::{batch, CompiledGraph};
 use quantmcu_nn::{Graph, GraphSpec};
 use quantmcu_patch::{Branch, PatchPlan};
 use quantmcu_quant::score::ScoreTable;
 use quantmcu_quant::vdpc::{PatchClass, VdpcClassifier};
 use quantmcu_quant::{entropy, vdqs};
-use quantmcu_tensor::{Bitwidth, Region, Tensor};
+use quantmcu_tensor::{par, Bitwidth, Region, Tensor};
 
 use crate::config::QuantMcuConfig;
 use crate::error::PlanError;
@@ -113,19 +113,24 @@ impl Planner {
         // stretched by rare outlier responses would waste the whole
         // sub-byte grid on empty tail space — the accuracy collapse mode
         // of naive post-merge quantization.
-        let tail_fm_values = tail_values;
+        //
+        // Ranging and clamping are per-map independent, so both fan out
+        // over the configured workers (results reassembled in map order —
+        // bit-identical to serial).
+        let mut tail_fm_values = tail_values;
         let tail_ranges: Vec<(f32, f32)> =
-            tail_fm_values.iter().map(|v| clipped_range(v)).collect();
+            par::par_map(&tail_fm_values, self.cfg.workers, |v| clipped_range(v));
         // Entropy must be estimated on the values the deployment will
         // actually see — clamped into the clipped range — otherwise a
         // blob-stretched map looks information-free (its bulk occupies one
         // histogram bin of the raw range) and the search assigns 2-bit to
         // a map that still carries everything.
-        let tail_fm_values: Vec<Vec<f32>> = tail_fm_values
-            .into_iter()
-            .zip(&tail_ranges)
-            .map(|(values, &(lo, hi))| values.into_iter().map(|v| v.clamp(lo, hi)).collect())
-            .collect();
+        par::par_for_each_mut(&mut tail_fm_values, self.cfg.workers, |i, values| {
+            let (lo, hi) = tail_ranges[i];
+            for v in values.iter_mut() {
+                *v = v.clamp(lo, hi);
+            }
+        });
         let tail_ref_bitops = {
             let uniform = quantmcu_nn::cost::BitwidthAssignment::uniform(&tail, Bitwidth::W8);
             quantmcu_nn::cost::total_bitops(&tail, self.cfg.weight_bits, &uniform).max(1)
@@ -197,6 +202,14 @@ impl Planner {
     /// per-feature-map value samples for every branch region and every
     /// tail map. Feature maps are recycled as soon as their samples have
     /// been extracted — no full trace is ever materialized.
+    ///
+    /// The calibration pass fans out over `cfg.workers` threads sharing
+    /// one [`CompiledGraph`]: each worker streams a contiguous chunk of
+    /// the calibration set into its own accumulator, and the per-chunk
+    /// accumulators are merged front to back — exactly the serial
+    /// observation order, so the samples (and therefore the resulting
+    /// plan) are bit-identical for every worker count. `workers = 1` runs
+    /// inline with no thread spawned.
     fn prologue(
         &self,
         graph: &Graph,
@@ -219,22 +232,41 @@ impl Planner {
                 region.check_within(shape.h, shape.w)?;
             }
         }
-        let mut branch_values: Vec<Vec<Vec<f32>>> =
-            vec![vec![Vec::new(); split + 1]; branches.len()];
-        let mut tail_values: Vec<Vec<f32>> = vec![Vec::new(); tail.feature_map_count()];
-        let mut exec = FloatExecutor::new(graph);
-        for input in calibration {
-            exec.run_with(input, |fm, t| {
+        let tail_fm_count = tail.feature_map_count();
+        let compiled = CompiledGraph::new(graph);
+        let workers = batch::effective_workers(self.cfg.workers, calibration.len());
+        let mut accs = batch::stream_chunks(
+            &compiled,
+            calibration,
+            workers,
+            || ValueSamples {
+                branch: vec![vec![Vec::new(); split + 1]; branches.len()],
+                tail: vec![Vec::new(); tail_fm_count],
+            },
+            |acc, fm, t| {
                 let g = fm.0;
                 if g <= split {
-                    for (values, branch) in branch_values.iter_mut().zip(&branches) {
+                    for (values, branch) in acc.branch.iter_mut().zip(&branches) {
                         extend_region_values(&mut values[g], t, branch.regions()[g]);
                     }
                 }
                 if g >= split {
-                    tail_values[g - split].extend_from_slice(t.data());
+                    acc.tail[g - split].extend_from_slice(t.data());
                 }
-            })?;
+            },
+        )?;
+        // Merge per-chunk samples in chunk order == image order. The
+        // single-chunk case (workers = 1) is moved out wholesale.
+        let ValueSamples { branch: mut branch_values, tail: mut tail_values } = accs.remove(0);
+        for acc in accs {
+            for (dst_branch, src_branch) in branch_values.iter_mut().zip(acc.branch) {
+                for (dst, mut src) in dst_branch.iter_mut().zip(src_branch) {
+                    dst.append(&mut src);
+                }
+            }
+            for (dst, mut src) in tail_values.iter_mut().zip(acc.tail) {
+                dst.append(&mut src);
+            }
         }
         Ok(Prologue { spec, patch_plan, head, tail, branches, branch_values, tail_values })
     }
@@ -250,8 +282,12 @@ impl Planner {
         total_bitops: u64,
         sram_bytes: usize,
     ) -> Result<Vec<Bitwidth>, PlanError> {
-        let et =
-            entropy::build_table(fm_values, &self.cfg.vdqs.candidates, self.cfg.vdqs.hist_bins)?;
+        let et = entropy::build_table_parallel(
+            fm_values,
+            &self.cfg.vdqs.candidates,
+            self.cfg.vdqs.hist_bins,
+            self.cfg.workers,
+        )?;
         let w = self.cfg.weight_bits.bits() as u64;
         let head_len = head.len();
         // ΔB(i, b): feature map i's consumers within the head (several for
@@ -309,7 +345,12 @@ impl Planner {
             self.cfg.vdqs.candidates.iter().copied().filter(|b| *b >= Bitwidth::W4).collect();
         let tail_cfg =
             quantmcu_quant::VdqsConfig { candidates: tail_candidates, ..self.cfg.vdqs.clone() };
-        let et = entropy::build_table(fm_values, &tail_cfg.candidates, tail_cfg.hist_bins * 16)?;
+        let et = entropy::build_table_parallel(
+            fm_values,
+            &tail_cfg.candidates,
+            tail_cfg.hist_bins * 16,
+            self.cfg.workers,
+        )?;
         let w = self.cfg.weight_bits;
         let table = ScoreTable::build(
             &et,
@@ -358,6 +399,14 @@ fn clipped_range(values: &[f32]) -> (f32, f32) {
     } else {
         min_max(values)
     }
+}
+
+/// One calibration chunk's accumulated value samples (see
+/// [`Planner::prologue`]): per-branch, per-feature-map region-restricted
+/// values, plus full-map values per tail feature map.
+struct ValueSamples {
+    branch: Vec<Vec<Vec<f32>>>,
+    tail: Vec<Vec<f32>>,
 }
 
 /// The shared planning prologue's output: the split graph, branches, and

@@ -46,6 +46,17 @@ impl DeploymentPlan {
         &self.branches
     }
 
+    /// Calibrated `(min, max)` per branch feature map (one vector per
+    /// branch, head length + 1 entries each).
+    pub fn branch_ranges(&self) -> &[Vec<(f32, f32)>] {
+        &self.branch_ranges
+    }
+
+    /// Calibrated `(min, max)` per tail feature map (tail input first).
+    pub fn tail_ranges(&self) -> &[(f32, f32)] {
+        &self.tail_ranges
+    }
+
     /// The per-patch head spec.
     ///
     /// # Panics

@@ -1,0 +1,254 @@
+//! Scoped-thread batch driver over a shared [`CompiledGraph`].
+//!
+//! One compiled graph, one [`ExecState`] per worker: inputs are split
+//! into contiguous chunks, each chunk runs on its own
+//! [`std::thread::scope`] thread, and results come back **in input
+//! order** — the whole module is deterministic regardless of worker
+//! count, and `workers = 1` runs inline on the calling thread (no
+//! spawn), which is bit-for-bit today's serial path.
+//!
+//! [`run_batch`] / [`run_batch_quant`] are the plain batch-inference
+//! APIs; [`stream_chunks`] is the map-shaped primitive the planner's
+//! calibration prologue builds on: each worker folds its chunk through a
+//! streaming observer into its own accumulator, and the per-chunk
+//! accumulators come back in chunk order so the caller can merge them in
+//! image order.
+
+use std::borrow::Borrow;
+use std::thread;
+
+use quantmcu_tensor::Tensor;
+
+use crate::error::GraphError;
+use crate::exec::{CompiledGraph, ExecState};
+use crate::graph::Graph;
+use crate::spec::FeatureMapId;
+
+/// Clamps a requested worker count to something useful: at least one, and
+/// never more workers than items.
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    requested.max(1).min(items.max(1))
+}
+
+/// Runs every input through the float path on `workers` threads sharing
+/// `compiled`, returning outputs in input order.
+///
+/// # Errors
+///
+/// Returns the first failing input's [`GraphError`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn run_batch<G>(
+    compiled: &CompiledGraph<G>,
+    inputs: &[Tensor],
+    workers: usize,
+) -> Result<Vec<Tensor>, GraphError>
+where
+    G: Borrow<Graph> + Sync,
+{
+    run_batch_with(compiled, inputs, workers, CompiledGraph::run_float)
+}
+
+/// Runs every input through the integer path on `workers` threads sharing
+/// `compiled`, returning dequantized outputs in input order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::MissingQuantization`] when `compiled` was built
+/// without quantization tables, otherwise the first failing input's
+/// error.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn run_batch_quant<G>(
+    compiled: &CompiledGraph<G>,
+    inputs: &[Tensor],
+    workers: usize,
+) -> Result<Vec<Tensor>, GraphError>
+where
+    G: Borrow<Graph> + Sync,
+{
+    run_batch_with(compiled, inputs, workers, CompiledGraph::run_quant)
+}
+
+/// Shared chunked driver for [`run_batch`] / [`run_batch_quant`].
+fn run_batch_with<G, F>(
+    compiled: &CompiledGraph<G>,
+    inputs: &[Tensor],
+    workers: usize,
+    run: F,
+) -> Result<Vec<Tensor>, GraphError>
+where
+    G: Borrow<Graph> + Sync,
+    F: Fn(&CompiledGraph<G>, &mut ExecState, &Tensor) -> Result<Tensor, GraphError> + Sync,
+{
+    let workers = effective_workers(workers, inputs.len());
+    if workers == 1 {
+        let mut state = ExecState::new();
+        return inputs.iter().map(|input| run(compiled, &mut state, input)).collect();
+    }
+    let chunk = inputs.len().div_ceil(workers);
+    let mut outputs: Vec<Option<Tensor>> = (0..inputs.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        let run = &run;
+        let mut handles = Vec::with_capacity(workers);
+        for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || -> Result<(), GraphError> {
+                let mut state = ExecState::new();
+                for (slot, input) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(run(compiled, &mut state, input)?);
+                }
+                Ok(())
+            }));
+        }
+        handles.into_iter().try_for_each(|h| h.join().expect("batch worker panicked"))
+    })?;
+    Ok(outputs.into_iter().map(|t| t.expect("every slot filled")).collect())
+}
+
+/// Streams contiguous input chunks through the float path on `workers`
+/// threads, folding each chunk's feature maps into a per-chunk
+/// accumulator, and returns the accumulators **in chunk order**.
+///
+/// Within a chunk the images run serially in input order, so a caller
+/// that merges the returned accumulators front to back reconstructs
+/// exactly the serial observation order — which is how the planner keeps
+/// its parallel calibration pass bit-identical to the serial one. With
+/// `workers = 1` the fold runs inline on the calling thread over a single
+/// accumulator.
+///
+/// # Errors
+///
+/// Returns the first failing input's [`GraphError`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn stream_chunks<G, A, M, O>(
+    compiled: &CompiledGraph<G>,
+    inputs: &[Tensor],
+    workers: usize,
+    make_acc: M,
+    observe: O,
+) -> Result<Vec<A>, GraphError>
+where
+    G: Borrow<Graph> + Sync,
+    A: Send,
+    M: Fn() -> A + Sync,
+    O: Fn(&mut A, FeatureMapId, &Tensor) + Sync,
+{
+    let workers = effective_workers(workers, inputs.len());
+    if workers == 1 {
+        let mut acc = make_acc();
+        let mut state = ExecState::new();
+        for input in inputs {
+            compiled.run_float_with(&mut state, input, |fm, t| observe(&mut acc, fm, t))?;
+        }
+        return Ok(vec![acc]);
+    }
+    let chunk = inputs.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let (make_acc, observe) = (&make_acc, &observe);
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|in_chunk| {
+                scope.spawn(move || -> Result<A, GraphError> {
+                    let mut acc = make_acc();
+                    let mut state = ExecState::new();
+                    for input in in_chunk {
+                        compiled
+                            .run_float_with(&mut state, input, |fm, t| observe(&mut acc, fm, t))?;
+                    }
+                    Ok(acc)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stream worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphSpecBuilder;
+    use crate::init;
+    use quantmcu_tensor::Shape;
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(6, 3, 2, 1)
+            .relu6()
+            .pwconv(8)
+            .global_avg_pool()
+            .dense(4)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 17)
+    }
+
+    fn inputs(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|s| Tensor::from_fn(Shape::hwc(8, 8, 3), |i| ((i + 37 * s) as f32 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        assert_eq!(effective_workers(0, 5), 1);
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 0), 1);
+        assert_eq!(effective_workers(4, 100), 4);
+    }
+
+    #[test]
+    fn batch_outputs_are_input_order_for_any_worker_count() {
+        let g = graph();
+        let compiled = CompiledGraph::new(&g);
+        let xs = inputs(7);
+        let serial = run_batch(&compiled, &xs, 1).unwrap();
+        for workers in [2, 3, 4, 16] {
+            let parallel = run_batch(&compiled, &xs, workers).unwrap();
+            assert_eq!(serial, parallel, "worker count {workers} changed outputs");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let g = graph();
+        let compiled = CompiledGraph::new(&g);
+        assert!(run_batch(&compiled, &[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_propagates_input_shape_errors() {
+        let g = graph();
+        let compiled = CompiledGraph::new(&g);
+        let mut xs = inputs(3);
+        xs[1] = Tensor::zeros(Shape::hwc(5, 5, 3));
+        assert!(matches!(run_batch(&compiled, &xs, 2), Err(GraphError::InputShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn stream_chunks_concatenates_to_serial_order() {
+        let g = graph();
+        let compiled = CompiledGraph::new(&g);
+        let xs = inputs(6);
+        let fold = |workers: usize| -> Vec<f32> {
+            let accs =
+                stream_chunks(&compiled, &xs, workers, Vec::new, |acc: &mut Vec<f32>, fm, t| {
+                    if fm.0 == 0 {
+                        acc.push(t.data()[0]);
+                    }
+                })
+                .unwrap();
+            accs.into_iter().flatten().collect()
+        };
+        let serial = fold(1);
+        for workers in [2, 3, 6] {
+            assert_eq!(serial, fold(workers));
+        }
+    }
+}

@@ -1,21 +1,27 @@
-use quantmcu_tensor::{Arena, Tensor};
+use quantmcu_tensor::Tensor;
 
 use crate::error::GraphError;
+use crate::exec::{CompiledGraph, ExecState};
 use crate::graph::Graph;
-use crate::kernels::{self, FloatDot};
-use crate::spec::{FeatureMapId, OpSpec, Source};
+use crate::spec::FeatureMapId;
 
-/// Full-precision reference executor.
+/// Full-precision reference executor: a thin façade bundling a borrowed
+/// [`CompiledGraph`] with its own [`ExecState`].
 ///
-/// Feature maps live in an executor-owned [`Arena`]: each map's buffer is
-/// taken when its producer fires and returned once its last consumer has
-/// run (the liveness schedule is derived from
+/// Feature maps live in the state's arena: each map's buffer is taken
+/// when its producer fires and returned once its last consumer has run
+/// (the liveness schedule is derived from
 /// [`GraphSpec::consumers_of`](crate::GraphSpec::consumers_of) at
-/// construction). After a warm-up inference the steady state performs
+/// compilation). After a warm-up inference the steady state performs
 /// zero heap allocations — [`FloatExecutor::run_with`] streams each
 /// feature map to an observer without materializing a trace, and
 /// [`FloatExecutor::run`]'s only steady-state allocation is the returned
 /// tensor's buffer.
+///
+/// To share one compilation across threads, use [`CompiledGraph`] with
+/// one [`ExecState`] per worker directly (or the drivers in
+/// [`crate::exec::batch`]); this façade is the single-threaded
+/// convenience.
 ///
 /// # Example
 ///
@@ -31,26 +37,28 @@ use crate::spec::{FeatureMapId, OpSpec, Source};
 /// ```
 #[derive(Debug)]
 pub struct FloatExecutor<'g> {
-    graph: &'g Graph,
-    arena: Arena<f32>,
-    /// Live feature maps, indexed by [`FeatureMapId`].
-    slots: Vec<Option<Tensor>>,
-    /// Feature maps whose last consumer is node `i`, releasable once it
-    /// has fired.
-    release_after: Vec<Vec<usize>>,
+    compiled: CompiledGraph<&'g Graph>,
+    state: ExecState,
 }
 
 impl<'g> FloatExecutor<'g> {
-    /// Creates an executor over `graph`, computing the feature-map
+    /// Creates an executor over `graph`, compiling the feature-map
     /// liveness schedule.
     pub fn new(graph: &'g Graph) -> Self {
-        let spec = graph.spec();
-        FloatExecutor {
-            graph,
-            arena: Arena::new(),
-            slots: (0..spec.feature_map_count()).map(|_| None).collect(),
-            release_after: super::release_schedule(spec),
-        }
+        let compiled = CompiledGraph::new(graph);
+        let state = ExecState::for_graph(&compiled);
+        FloatExecutor { compiled, state }
+    }
+
+    /// Wraps an already-compiled graph with a fresh execution state.
+    pub fn from_compiled(compiled: CompiledGraph<&'g Graph>) -> Self {
+        let state = ExecState::for_graph(&compiled);
+        FloatExecutor { compiled, state }
+    }
+
+    /// The underlying compilation (shareable across threads).
+    pub fn compiled(&self) -> &CompiledGraph<&'g Graph> {
+        &self.compiled
     }
 
     /// Runs the graph, returning the final feature map.
@@ -60,17 +68,7 @@ impl<'g> FloatExecutor<'g> {
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
     pub fn run(&mut self, input: &Tensor) -> Result<Tensor, GraphError> {
-        self.execute(input, |_, _| {})?;
-        let last = self.graph.spec().feature_map_count() - 1;
-        // Copy the final map into an exact-size buffer (the documented one
-        // steady-state allocation) instead of handing out the recycled
-        // arena buffer, which may be oversized and would drain the pool.
-        let out = {
-            let t = self.slots[last].as_ref().expect("final feature map is never released early");
-            Tensor::from_vec(t.shape(), t.data().to_vec()).expect("lengths match")
-        };
-        self.release_all();
-        Ok(out)
+        self.compiled.run_float(&mut self.state, input)
     }
 
     /// Runs the graph, streaming every feature map to `observer` as it is
@@ -89,9 +87,7 @@ impl<'g> FloatExecutor<'g> {
         input: &Tensor,
         observer: impl FnMut(FeatureMapId, &Tensor),
     ) -> Result<(), GraphError> {
-        self.execute(input, observer)?;
-        self.release_all();
-        Ok(())
+        self.compiled.run_float_with(&mut self.state, input, observer)
     }
 
     /// Runs the graph, returning every feature map as an owned trace.
@@ -105,108 +101,16 @@ impl<'g> FloatExecutor<'g> {
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
     pub fn run_trace(&mut self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
-        let mut trace = Vec::with_capacity(self.graph.spec().feature_map_count());
+        let mut trace = Vec::with_capacity(self.compiled.spec().feature_map_count());
         self.run_with(input, |_, t| trace.push(t.clone()))?;
         Ok(trace)
     }
 
-    /// Warm-up allocation count of the executor's arena (stable once every
-    /// feature-map shape has been seen; see [`Arena::fresh_allocations`]).
+    /// Warm-up allocation count of the executor's arenas (stable once every
+    /// feature-map shape has been seen; see
+    /// [`ExecState::fresh_allocations`]).
     pub fn arena_allocations(&self) -> usize {
-        self.arena.fresh_allocations()
-    }
-
-    /// Core loop: computes every node, yielding maps to `observer` and
-    /// recycling them per the liveness schedule. Leaves unreleased maps
-    /// (at least the final one) in `slots` for the caller.
-    fn execute(
-        &mut self,
-        input: &Tensor,
-        mut observer: impl FnMut(FeatureMapId, &Tensor),
-    ) -> Result<(), GraphError> {
-        let spec = self.graph.spec();
-        super::check_input(spec, input.shape())?;
-        let mut buf = self.arena.take(input.data().len());
-        buf.copy_from_slice(input.data());
-        self.slots[0] = Some(Tensor::from_vec(input.shape(), buf).expect("arena length matches"));
-        observer(FeatureMapId::INPUT, self.slots[0].as_ref().expect("just stored"));
-        for i in 0..spec.len() {
-            let out_shape = spec.node_shape(i);
-            let mut out = Tensor::from_vec(out_shape, self.arena.take(out_shape.len()))
-                .expect("arena length matches");
-            eval_node(self.graph, &self.slots, i, &mut out);
-            self.slots[i + 1] = Some(out);
-            observer(FeatureMapId::of_node(i), self.slots[i + 1].as_ref().expect("just stored"));
-            for &fm in &self.release_after[i] {
-                if let Some(t) = self.slots[fm].take() {
-                    self.arena.give(t.into_vec());
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Returns every still-live feature map buffer to the arena.
-    fn release_all(&mut self) {
-        for slot in &mut self.slots {
-            if let Some(t) = slot.take() {
-                self.arena.give(t.into_vec());
-            }
-        }
-    }
-}
-
-/// Evaluates node `i` into `out`, dispatching to the shared kernel layer.
-fn eval_node(graph: &Graph, slots: &[Option<Tensor>], i: usize, out: &mut Tensor) {
-    let spec = graph.spec();
-    let node = &spec.nodes()[i];
-    let slot = |s: Source| -> &Tensor {
-        slots[super::source_fm(s)].as_ref().expect("liveness schedule keeps inputs alive")
-    };
-    let in0 = slot(node.inputs[0]);
-    let in_shape = in0.shape();
-    let out_shape = out.shape();
-    let region = out_shape.full_region();
-    let dot = FloatDot { weights: graph.params(i).weights(), bias: graph.params(i).bias() };
-    match node.op {
-        OpSpec::Conv2d { out_ch, kernel, stride, pad } => kernels::conv2d(
-            &dot,
-            in0.data(),
-            in_shape,
-            out.data_mut(),
-            out_ch,
-            kernel,
-            stride,
-            pad,
-            region,
-        ),
-        OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
-            kernels::dwconv(&dot, in0.data(), in_shape, out.data_mut(), kernel, stride, pad, region)
-        }
-        OpSpec::Dense { out: out_f } => {
-            kernels::dense(&dot, in0.data(), in_shape, out.data_mut(), out_f)
-        }
-        OpSpec::MaxPool { kernel, stride } => {
-            kernels::max_pool(in0.data(), in_shape, out.data_mut(), kernel, stride, region)
-        }
-        OpSpec::AvgPool { kernel, stride } => {
-            kernels::avg_pool(in0.data(), in_shape, out.data_mut(), kernel, stride, region)
-        }
-        OpSpec::GlobalAvgPool => kernels::global_avg_pool(in0.data(), in_shape, out.data_mut()),
-        OpSpec::Relu => kernels::relu(in0.data(), in_shape, out.data_mut(), f32::INFINITY, region),
-        OpSpec::Relu6 => kernels::relu(in0.data(), in_shape, out.data_mut(), 6.0, region),
-        OpSpec::Add => {
-            kernels::add(in0.data(), slot(node.inputs[1]).data(), out_shape, out.data_mut(), region)
-        }
-        OpSpec::Concat => kernels::concat(
-            node.inputs.iter().map(|&s| {
-                let t = slot(s);
-                (t.data(), t.shape())
-            }),
-            out.data_mut(),
-            out_shape,
-            region,
-        ),
+        self.state.fresh_allocations()
     }
 }
 

@@ -1,12 +1,25 @@
-//! Graph executors.
+//! Graph executors, split compile-once / execute-many.
 //!
-//! Both executors are thin drivers over the shared op-kernel layer in
+//! [`CompiledGraph`] is the immutable, `Send + Sync` half of an executor:
+//! the graph (borrowed or owned via `Borrow<Graph>`), the feature-map
+//! liveness schedule, and — when compiled with quantization — per-channel
+//! quantized weights and requantization tables. [`ExecState`] is the
+//! cheap per-worker half: the scratch arenas and feature-map slots one
+//! in-flight inference needs. One compiled graph plus N states executes
+//! on N threads at once; the [`batch`] module provides the scoped-thread
+//! drivers ([`batch::run_batch`], [`batch::run_batch_quant`],
+//! [`batch::stream_chunks`]) with deterministic, input-ordered results.
+//!
+//! All execution dispatches into the shared op-kernel layer in
 //! [`crate::kernels`] — one cache-blocked loop nest per operator, generic
-//! over an element/accumulator strategy — and both hold their feature
-//! maps in executor-owned [`Arena`](quantmcu_tensor::Arena)s, recycling
-//! each buffer once the map's last consumer has fired. The streaming
-//! `run_with` path performs zero steady-state heap allocations; plain
-//! `run` adds exactly one — the returned tensor's buffer.
+//! over an element/accumulator strategy — and holds feature maps in
+//! state-owned [`Arena`](quantmcu_tensor::Arena)s, recycling each buffer
+//! once the map's last consumer has fired. The streaming `run_*_with`
+//! paths perform zero steady-state heap allocations; plain `run_*` adds
+//! exactly one — the returned tensor's buffer.
+//!
+//! Single-threaded callers use the façades, each bundling a borrowed
+//! compilation with its own state:
 //!
 //! * [`FloatExecutor`] — the full-precision reference. Besides plain
 //!   inference it can stream every intermediate feature map to an
@@ -20,42 +33,11 @@
 //!   layers. Mixed-precision deployment plans are evaluated by giving each
 //!   feature map its own bitwidth.
 
+pub mod batch;
+mod compile;
 mod float;
 mod quantized;
 
+pub use compile::{CompiledGraph, ExecState};
 pub use float::FloatExecutor;
 pub use quantized::{calibrate_ranges, QuantExecutor};
-
-use quantmcu_tensor::Shape;
-
-use crate::error::GraphError;
-use crate::spec::{FeatureMapId, GraphSpec, Source};
-
-/// Validates an executor input against the spec's declared input shape.
-pub(crate) fn check_input(spec: &GraphSpec, actual: Shape) -> Result<(), GraphError> {
-    let expected = spec.input_shape();
-    if actual == expected {
-        Ok(())
-    } else {
-        Err(GraphError::InputShapeMismatch { expected, actual })
-    }
-}
-
-/// Slot index of a node input source ([`FeatureMapId`] numbering).
-pub(crate) fn source_fm(s: Source) -> usize {
-    s.feature_map().0
-}
-
-/// The feature-map liveness schedule both executors recycle buffers by:
-/// entry `i` lists the maps whose *last* consumer is node `i`, releasable
-/// to the arena once it has fired. Maps without consumers (at least the
-/// final output) appear in no entry and stay live until the run ends.
-pub(crate) fn release_schedule(spec: &GraphSpec) -> Vec<Vec<usize>> {
-    let mut release_after = vec![Vec::new(); spec.len()];
-    for fm in 0..spec.feature_map_count() {
-        if let Some(last) = spec.consumers_of(FeatureMapId(fm)).into_iter().max() {
-            release_after[last].push(fm);
-        }
-    }
-    release_after
-}

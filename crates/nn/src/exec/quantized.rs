@@ -1,10 +1,9 @@
-use quantmcu_tensor::{Arena, Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
+use quantmcu_tensor::{Bitwidth, QuantParams, Tensor};
 
 use crate::error::GraphError;
-use crate::exec::{source_fm as src_fm, FloatExecutor};
+use crate::exec::{CompiledGraph, ExecState, FloatExecutor};
 use crate::graph::Graph;
-use crate::kernels::{self, Dot};
-use crate::spec::{FeatureMapId, OpSpec};
+use crate::spec::FeatureMapId;
 
 /// Collects per-feature-map activation ranges by streaming the float
 /// executor over a calibration set.
@@ -40,66 +39,9 @@ pub fn calibrate_ranges(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<(f32, f3
     Ok(ranges)
 }
 
-/// A streaming observer over dequantized feature maps.
-type MapObserver<'o> = &'o mut dyn FnMut(FeatureMapId, &Tensor);
-
-/// Per-node integer requantization constants, precomputed once.
-#[derive(Debug)]
-struct NodeQuant {
-    /// Bias in accumulator grid units, per output channel.
-    bias_q: Vec<i64>,
-    /// `s_in * s_w(oc)`: the accumulator's real-value scale, per channel.
-    acc_scale: Vec<f64>,
-}
-
-/// The integer strategy for the shared weighted kernels: `i32` grid
-/// elements, zero-point-corrected `i64` accumulation, per-channel
-/// requantization to the output feature map's grid on finish.
-struct QuantDot<'a> {
-    qw: &'a [i8],
-    zp_in: i32,
-    nq: &'a NodeQuant,
-    out_scale: f64,
-    zp_out: i32,
-    q_min: i32,
-    q_max: i32,
-}
-
-impl Dot for QuantDot<'_> {
-    type Elem = i32;
-    type Acc = i64;
-
-    #[inline]
-    fn init(&self, _oc: usize) -> i64 {
-        0
-    }
-
-    #[inline]
-    fn dot(&self, acc: i64, x: &[i32], w_base: usize) -> i64 {
-        let w = &self.qw[w_base..w_base + x.len()];
-        x.iter().zip(w).fold(acc, |a, (&q, &wv)| a + ((q - self.zp_in) * wv as i32) as i64)
-    }
-
-    #[inline]
-    fn mac_rows(&self, acc: &mut [i64], x: &[i32], w_base: usize) {
-        let w = &self.qw[w_base..w_base + acc.len()];
-        for ((a, &q), &wv) in acc.iter_mut().zip(x).zip(w) {
-            *a += ((q - self.zp_in) * wv as i32) as i64;
-        }
-    }
-
-    #[inline]
-    fn finish(&self, acc: i64, oc: usize) -> i32 {
-        // Bias enters the accumulator in its own grid, then the total is
-        // requantized to the output feature map's grid.
-        let acc = acc + self.nq.bias_q[oc];
-        let real = acc as f64 * self.nq.acc_scale[oc];
-        let q = (real / self.out_scale).round() as i32 + self.zp_out;
-        q.clamp(self.q_min, self.q_max)
-    }
-}
-
-/// Integer executor modeling the CMSIS-NN / CMix-NN deployment stack.
+/// Integer executor modeling the CMSIS-NN / CMix-NN deployment stack: a
+/// thin façade bundling a quantization-compiled [`CompiledGraph`] with
+/// its own [`ExecState`].
 ///
 /// Weighted operators (convolutions, dense) run in true integer
 /// arithmetic through the same cache-blocked kernels as the float
@@ -110,27 +52,19 @@ impl Dot for QuantDot<'_> {
 /// dequantize→kernel→requantize, which is numerically equivalent to their
 /// fixed-point forms and keeps the kernel inventory small.
 ///
-/// Feature maps live in executor-owned arenas and are recycled per the
+/// Feature maps live in the state's arenas and are recycled per the
 /// graph's liveness schedule, so steady-state runs perform no heap
 /// allocations beyond the returned tensor.
 ///
 /// Each feature map carries its own [`Bitwidth`], so a mixed-precision
 /// plan from the VDQS search is evaluated by passing its bitwidth vector
-/// here.
+/// here. To share one quantized compilation across threads, use
+/// [`CompiledGraph::with_quantization`] with one [`ExecState`] per worker
+/// (or [`crate::exec::batch::run_batch_quant`]).
 #[derive(Debug)]
 pub struct QuantExecutor<'g> {
-    graph: &'g Graph,
-    act_params: Vec<QuantParams>,
-    qweights: Vec<Vec<i8>>,
-    node_quant: Vec<Option<NodeQuant>>,
-    arena_q: Arena<i32>,
-    arena_f: Arena<f32>,
-    /// Live quantized feature maps, indexed by [`FeatureMapId`].
-    qslots: Vec<Option<Vec<i32>>>,
-    /// Dequantized input scratch for value-preserving ops.
-    scratch: Vec<Tensor>,
-    /// Feature maps whose last consumer is node `i`.
-    release_after: Vec<Vec<usize>>,
+    compiled: CompiledGraph<&'g Graph>,
+    state: ExecState,
 }
 
 impl<'g> QuantExecutor<'g> {
@@ -150,74 +84,29 @@ impl<'g> QuantExecutor<'g> {
         act_bits: &[Bitwidth],
         weight_bits: Bitwidth,
     ) -> Result<Self, GraphError> {
-        let spec = graph.spec();
-        let fm_count = spec.feature_map_count();
-        if ranges.len() != fm_count {
-            return Err(GraphError::MissingQuantization { feature_map: ranges.len() });
+        let compiled = CompiledGraph::with_quantization(graph, ranges, act_bits, weight_bits)?;
+        let state = ExecState::for_graph(&compiled);
+        Ok(QuantExecutor { compiled, state })
+    }
+
+    /// Wraps an already-compiled quantized graph with a fresh execution
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingQuantization`] when `compiled` was
+    /// built without quantization tables.
+    pub fn from_compiled(compiled: CompiledGraph<&'g Graph>) -> Result<Self, GraphError> {
+        if !compiled.is_quantized() {
+            return Err(GraphError::MissingQuantization { feature_map: 0 });
         }
-        if act_bits.len() != fm_count {
-            return Err(GraphError::MissingQuantization { feature_map: act_bits.len() });
-        }
-        let mut act_params = Vec::with_capacity(fm_count);
-        for (i, (&(lo, hi), &bits)) in ranges.iter().zip(act_bits).enumerate() {
-            let p = QuantParams::from_min_max(lo, hi, bits)
-                .map_err(|_| GraphError::MissingQuantization { feature_map: i })?;
-            act_params.push(p);
-        }
-        let mut qweights = Vec::with_capacity(spec.len());
-        let mut node_quant = Vec::with_capacity(spec.len());
-        for i in 0..spec.len() {
-            let w = graph.params(i).weights();
-            if w.is_empty() {
-                qweights.push(Vec::new());
-                node_quant.push(None);
-                continue;
-            }
-            let op = spec.nodes()[i].op;
-            let in_shape = spec.input_shapes_of(i)[0];
-            let (channels, per_channel) = weight_channel_layout(op, in_shape, w.len());
-            let params = ChannelQuantParams::fit(
-                &regroup_by_channel(op, in_shape, w),
-                channels,
-                per_channel,
-                weight_bits,
-            )?;
-            // Weights are quantized in their *execution* layout (the one
-            // the shared kernels index), so each value maps to its own
-            // channel's grid: depthwise is `[kh][kw][c]` (channel =
-            // j % c), conv/dense rows are already channel-major.
-            let qw: Vec<i8> = match op {
-                OpSpec::DepthwiseConv2d { .. } => w
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| params.quantize(j % in_shape.c, v) as i8)
-                    .collect(),
-                _ => w
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| params.quantize(j / per_channel, v) as i8)
-                    .collect(),
-            };
-            let s_in = act_params[src_fm(spec.nodes()[i].inputs[0])].scale() as f64;
-            let bias = graph.params(i).bias();
-            let acc_scale: Vec<f64> =
-                (0..channels).map(|ch| s_in * params.scale(ch) as f64).collect();
-            let bias_q: Vec<i64> =
-                bias.iter().zip(&acc_scale).map(|(&b, &s)| (b as f64 / s).round() as i64).collect();
-            qweights.push(qw);
-            node_quant.push(Some(NodeQuant { bias_q, acc_scale }));
-        }
-        Ok(QuantExecutor {
-            graph,
-            act_params,
-            qweights,
-            node_quant,
-            arena_q: Arena::new(),
-            arena_f: Arena::new(),
-            qslots: (0..fm_count).map(|_| None).collect(),
-            scratch: Vec::new(),
-            release_after: super::release_schedule(spec),
-        })
+        let state = ExecState::for_graph(&compiled);
+        Ok(QuantExecutor { compiled, state })
+    }
+
+    /// The underlying compilation (shareable across threads).
+    pub fn compiled(&self) -> &CompiledGraph<&'g Graph> {
+        &self.compiled
     }
 
     /// Activation parameters of feature map `fm`.
@@ -226,7 +115,7 @@ impl<'g> QuantExecutor<'g> {
     ///
     /// Panics when `fm` is out of range.
     pub fn activation_params(&self, fm: usize) -> QuantParams {
-        self.act_params[fm]
+        self.compiled.activation_params(fm)
     }
 
     /// Runs the graph, returning the dequantized final feature map.
@@ -236,14 +125,7 @@ impl<'g> QuantExecutor<'g> {
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
     pub fn run(&mut self, input: &Tensor) -> Result<Tensor, GraphError> {
-        self.execute(input, None)?;
-        let spec = self.graph.spec();
-        let last = spec.feature_map_count() - 1;
-        let q = self.qslots[last].as_ref().expect("final feature map is never released early");
-        let p = self.act_params[last];
-        let out = Tensor::from_fn(fm_shape(spec, last), |j| p.dequantize(q[j]));
-        self.release_all();
-        Ok(out)
+        self.compiled.run_quant(&mut self.state, input)
     }
 
     /// Runs the graph, streaming every feature map to `observer`
@@ -257,11 +139,9 @@ impl<'g> QuantExecutor<'g> {
     pub fn run_with(
         &mut self,
         input: &Tensor,
-        mut observer: impl FnMut(FeatureMapId, &Tensor),
+        observer: impl FnMut(FeatureMapId, &Tensor),
     ) -> Result<(), GraphError> {
-        self.execute(input, Some(&mut observer))?;
-        self.release_all();
-        Ok(())
+        self.compiled.run_quant_with(&mut self.state, input, observer)
     }
 
     /// Runs the graph, returning every feature map dequantized to `f32`
@@ -272,249 +152,16 @@ impl<'g> QuantExecutor<'g> {
     /// Returns [`GraphError::InputShapeMismatch`] when `input` does not
     /// match the spec.
     pub fn run_trace(&mut self, input: &Tensor) -> Result<Vec<Tensor>, GraphError> {
-        let mut trace = Vec::with_capacity(self.graph.spec().feature_map_count());
+        let mut trace = Vec::with_capacity(self.compiled.spec().feature_map_count());
         self.run_with(input, |_, t| trace.push(t.clone()))?;
         Ok(trace)
     }
 
-    /// Core loop over the graph in quantized storage. When `observer` is
-    /// present, each map is dequantized into arena scratch and yielded.
-    fn execute(
-        &mut self,
-        input: &Tensor,
-        mut observer: Option<MapObserver<'_>>,
-    ) -> Result<(), GraphError> {
-        let QuantExecutor {
-            graph,
-            act_params,
-            qweights,
-            node_quant,
-            arena_q,
-            arena_f,
-            qslots,
-            scratch,
-            release_after,
-        } = self;
-        let spec = graph.spec();
-        super::check_input(spec, input.shape())?;
-        let mut q0 = arena_q.take(input.data().len());
-        for (q, &v) in q0.iter_mut().zip(input.data()) {
-            *q = act_params[0].quantize(v);
-        }
-        qslots[0] = Some(q0);
-        if let Some(obs) = observer.as_deref_mut() {
-            yield_map(arena_f, spec, act_params, qslots, 0, obs);
-        }
-        for (i, node) in spec.nodes().iter().enumerate() {
-            let out_fm = i + 1;
-            let out_shape = spec.node_shape(i);
-            let mut qout = arena_q.take(out_shape.len());
-            let in0_fm = src_fm(node.inputs[0]);
-            let in_shape = fm_shape(spec, in0_fm);
-            match node.op {
-                OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
-                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
-                    kernels::conv2d(
-                        &dot,
-                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
-                        in_shape,
-                        &mut qout,
-                        out_ch,
-                        kernel,
-                        stride,
-                        pad,
-                        out_shape.full_region(),
-                    );
-                }
-                OpSpec::DepthwiseConv2d { kernel, stride, pad } => {
-                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
-                    kernels::dwconv(
-                        &dot,
-                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
-                        in_shape,
-                        &mut qout,
-                        kernel,
-                        stride,
-                        pad,
-                        out_shape.full_region(),
-                    );
-                }
-                OpSpec::Dense { out } => {
-                    let dot = quant_dot(qweights, node_quant, act_params, i, in0_fm, out_fm);
-                    kernels::dense(
-                        &dot,
-                        qslots[in0_fm].as_ref().expect("liveness keeps inputs alive"),
-                        in_shape,
-                        &mut qout,
-                        out,
-                    );
-                }
-                _ => {
-                    // Value-preserving ops: dequantize inputs into arena
-                    // scratch, run the shared float kernel, requantize.
-                    for &s in &node.inputs {
-                        let fm = src_fm(s);
-                        let shape = fm_shape(spec, fm);
-                        let p = act_params[fm];
-                        let q = qslots[fm].as_ref().expect("liveness keeps inputs alive");
-                        let mut buf = arena_f.take(shape.len());
-                        for (o, &qv) in buf.iter_mut().zip(q) {
-                            *o = p.dequantize(qv);
-                        }
-                        scratch.push(Tensor::from_vec(shape, buf).expect("arena length matches"));
-                    }
-                    let mut outf = arena_f.take(out_shape.len());
-                    let region = out_shape.full_region();
-                    let s0 = &scratch[0];
-                    match node.op {
-                        OpSpec::MaxPool { kernel, stride } => kernels::max_pool(
-                            s0.data(),
-                            s0.shape(),
-                            &mut outf,
-                            kernel,
-                            stride,
-                            region,
-                        ),
-                        OpSpec::AvgPool { kernel, stride } => kernels::avg_pool(
-                            s0.data(),
-                            s0.shape(),
-                            &mut outf,
-                            kernel,
-                            stride,
-                            region,
-                        ),
-                        OpSpec::GlobalAvgPool => {
-                            kernels::global_avg_pool(s0.data(), s0.shape(), &mut outf)
-                        }
-                        OpSpec::Relu => {
-                            kernels::relu(s0.data(), s0.shape(), &mut outf, f32::INFINITY, region)
-                        }
-                        OpSpec::Relu6 => {
-                            kernels::relu(s0.data(), s0.shape(), &mut outf, 6.0, region)
-                        }
-                        OpSpec::Add => {
-                            kernels::add(s0.data(), scratch[1].data(), out_shape, &mut outf, region)
-                        }
-                        OpSpec::Concat => kernels::concat(
-                            scratch.iter().map(|t| (t.data(), t.shape())),
-                            &mut outf,
-                            out_shape,
-                            region,
-                        ),
-                        _ => unreachable!("weighted ops handled above"),
-                    }
-                    let p = act_params[out_fm];
-                    for (q, &v) in qout.iter_mut().zip(&outf) {
-                        *q = p.quantize(v);
-                    }
-                    arena_f.give(outf);
-                    for t in scratch.drain(..) {
-                        arena_f.give(t.into_vec());
-                    }
-                }
-            }
-            qslots[out_fm] = Some(qout);
-            if let Some(obs) = observer.as_deref_mut() {
-                yield_map(arena_f, spec, act_params, qslots, out_fm, obs);
-            }
-            for &fm in &release_after[i] {
-                if let Some(q) = qslots[fm].take() {
-                    arena_q.give(q);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Returns every still-live quantized buffer to the arena.
-    fn release_all(&mut self) {
-        for slot in &mut self.qslots {
-            if let Some(q) = slot.take() {
-                self.arena_q.give(q);
-            }
-        }
-    }
-}
-
-/// Dequantizes feature map `fm` into arena scratch and yields it.
-fn yield_map(
-    arena_f: &mut Arena<f32>,
-    spec: &crate::spec::GraphSpec,
-    act_params: &[QuantParams],
-    qslots: &[Option<Vec<i32>>],
-    fm: usize,
-    observer: &mut dyn FnMut(FeatureMapId, &Tensor),
-) {
-    let shape = fm_shape(spec, fm);
-    let p = act_params[fm];
-    let q = qslots[fm].as_ref().expect("just produced");
-    let mut buf = arena_f.take(shape.len());
-    for (o, &qv) in buf.iter_mut().zip(q) {
-        *o = p.dequantize(qv);
-    }
-    let t = Tensor::from_vec(shape, buf).expect("arena length matches");
-    observer(FeatureMapId(fm), &t);
-    arena_f.give(t.into_vec());
-}
-
-/// Builds the integer kernel strategy for weighted node `i`.
-fn quant_dot<'a>(
-    qweights: &'a [Vec<i8>],
-    node_quant: &'a [Option<NodeQuant>],
-    act_params: &[QuantParams],
-    i: usize,
-    in_fm: usize,
-    out_fm: usize,
-) -> QuantDot<'a> {
-    let out_params = act_params[out_fm];
-    QuantDot {
-        qw: &qweights[i],
-        zp_in: act_params[in_fm].zero_point(),
-        nq: node_quant[i].as_ref().expect("weighted node has quantization"),
-        out_scale: out_params.scale() as f64,
-        zp_out: out_params.zero_point(),
-        q_min: out_params.bitwidth().min_value(),
-        q_max: out_params.bitwidth().max_value(),
-    }
-}
-
-fn fm_shape(spec: &crate::spec::GraphSpec, fm: usize) -> Shape {
-    if fm == 0 {
-        spec.input_shape()
-    } else {
-        spec.node_shape(fm - 1)
-    }
-}
-
-/// Channel grouping of a weighted op's buffer: `(channels, per_channel)`.
-fn weight_channel_layout(op: OpSpec, in_shape: Shape, w_len: usize) -> (usize, usize) {
-    match op {
-        OpSpec::Conv2d { out_ch, .. } => (out_ch, w_len / out_ch),
-        OpSpec::DepthwiseConv2d { kernel, .. } => (in_shape.c, kernel * kernel),
-        OpSpec::Dense { out } => (out, w_len / out),
-        _ => (1, w_len),
-    }
-}
-
-/// Rearranges weights so each channel's values are contiguous, the layout
-/// [`ChannelQuantParams::fit`] expects. Conv (OHWI) and dense are already
-/// channel-major; depthwise is stored `[kh][kw][c]` and must be transposed
-/// to `[c][kh][kw]`. Only the *fit* uses this grouping — execution keeps
-/// the canonical layout the shared kernels index.
-fn regroup_by_channel(op: OpSpec, in_shape: Shape, w: &[f32]) -> Vec<f32> {
-    match op {
-        OpSpec::DepthwiseConv2d { kernel, .. } => {
-            let c = in_shape.c;
-            let kk = kernel * kernel;
-            let mut out = vec![0.0f32; w.len()];
-            for ch in 0..c {
-                for t in 0..kk {
-                    out[ch * kk + t] = w[t * c + ch];
-                }
-            }
-            out
-        }
-        _ => w.to_vec(),
+    /// Warm-up allocation count of the executor's arenas (stable once
+    /// every feature-map shape has been seen; see
+    /// [`ExecState::fresh_allocations`]).
+    pub fn arena_allocations(&self) -> usize {
+        self.state.fresh_allocations()
     }
 }
 
@@ -523,6 +170,7 @@ mod tests {
     use super::*;
     use crate::builder::GraphSpecBuilder;
     use crate::init;
+    use quantmcu_tensor::Shape;
 
     fn small_graph() -> Graph {
         let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
@@ -638,10 +286,27 @@ mod tests {
         let mut qe =
             QuantExecutor::new(&g, &ranges, &uniform_bits(&g, Bitwidth::W8), Bitwidth::W8).unwrap();
         qe.run_with(&inputs[0], |_, _| {}).unwrap();
-        let warm = (qe.arena_q.fresh_allocations(), qe.arena_f.fresh_allocations());
+        let warm = qe.arena_allocations();
         for _ in 0..5 {
             qe.run_with(&inputs[1], |_, _| {}).unwrap();
         }
-        assert_eq!((qe.arena_q.fresh_allocations(), qe.arena_f.fresh_allocations()), warm);
+        assert_eq!(qe.arena_allocations(), warm);
+    }
+
+    #[test]
+    fn from_compiled_requires_quantization_tables() {
+        let g = small_graph();
+        assert!(QuantExecutor::from_compiled(CompiledGraph::new(&g)).is_err());
+        let inputs = calib_inputs(g.spec().input_shape(), 2);
+        let ranges = calibrate_ranges(&g, &inputs).unwrap();
+        let compiled = CompiledGraph::with_quantization(
+            &g,
+            &ranges,
+            &uniform_bits(&g, Bitwidth::W8),
+            Bitwidth::W8,
+        )
+        .unwrap();
+        let mut qe = QuantExecutor::from_compiled(compiled).unwrap();
+        assert!(qe.run(&inputs[0]).is_ok());
     }
 }

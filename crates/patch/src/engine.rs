@@ -1,7 +1,7 @@
-use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::exec::{CompiledGraph, ExecState};
 use quantmcu_nn::kernels::{self, FloatDot};
-use quantmcu_nn::{Graph, GraphSpec, OpSpec, Source};
-use quantmcu_tensor::{QuantParams, Region, Tensor};
+use quantmcu_nn::{Graph, GraphError, GraphSpec, NodeSpec, OpSpec, Source};
+use quantmcu_tensor::{Arena, QuantParams, Region, Shape, Tensor};
 
 use crate::branch::Branch;
 use crate::error::PatchError;
@@ -28,17 +28,32 @@ pub struct PatchOutput {
 /// region as it is produced, which is how mixed-precision dataflow
 /// branches (the heart of QuantMCU) are evaluated numerically; the dense
 /// integer path is validated separately in `quantmcu_nn::exec`.
+///
+/// The tail is compiled **once** at construction
+/// ([`CompiledGraph`] owning the tail graph) and executed through a
+/// persistent [`ExecState`]; branch feature maps live in an
+/// executor-owned [`Arena`]. After a warm-up inference the whole
+/// head-branches-tail path performs zero steady-state heap allocations
+/// when driven through [`PatchExecutor::run_quantized_into`] with a
+/// reused [`PatchOutput`].
 #[derive(Debug)]
 pub struct PatchExecutor<'g> {
     graph: &'g Graph,
     plan: PatchPlan,
     head: GraphSpec,
-    tail_graph: Graph,
+    /// The tail, compiled once — no per-inference executor construction.
+    tail: CompiledGraph,
+    tail_state: ExecState,
     branches: Vec<Branch>,
+    /// Buffer pool for branch feature maps.
+    arena: Arena<f32>,
+    /// Per-branch feature-map scratch (drained back to the arena after
+    /// each branch; the `Vec` itself keeps its capacity).
+    maps: Vec<Tensor>,
 }
 
 impl<'g> PatchExecutor<'g> {
-    /// Prepares an executor for `plan` over `graph`.
+    /// Prepares an executor for `plan` over `graph`, compiling the tail.
     ///
     /// # Errors
     ///
@@ -46,11 +61,21 @@ impl<'g> PatchExecutor<'g> {
     /// match the graph (e.g. a skip edge crosses it).
     pub fn new(graph: &'g Graph, plan: PatchPlan) -> Result<Self, PatchError> {
         let spec = graph.spec();
-        let (head, tail) = spec.split_at(plan.split_at())?;
+        let (head, tail_spec) = spec.split_at(plan.split_at())?;
         let branches = Branch::build_all(spec, &plan);
         let tail_params = (plan.split_at()..spec.len()).map(|i| graph.params(i).clone()).collect();
-        let tail_graph = Graph::new(tail, tail_params);
-        Ok(PatchExecutor { graph, plan, head, tail_graph, branches })
+        let tail = CompiledGraph::new(Graph::new(tail_spec, tail_params));
+        let tail_state = ExecState::for_graph(&tail);
+        Ok(PatchExecutor {
+            graph,
+            plan,
+            head,
+            tail,
+            tail_state,
+            branches,
+            arena: Arena::new(),
+            maps: Vec::new(),
+        })
     }
 
     /// The plan being executed.
@@ -68,13 +93,28 @@ impl<'g> PatchExecutor<'g> {
         &self.branches
     }
 
+    /// A zeroed [`PatchOutput`] with the shapes this executor produces,
+    /// for reuse across [`PatchExecutor::run_quantized_into`] calls.
+    pub fn make_output(&self) -> PatchOutput {
+        let stage_shape = self.head.output_shape();
+        PatchOutput {
+            stage_output: Tensor::zeros(stage_shape),
+            branch_outputs: self
+                .branches
+                .iter()
+                .map(|b| Tensor::zeros(patch_shape(stage_shape, b.output_region())))
+                .collect(),
+            final_output: Tensor::zeros(self.tail.spec().output_shape()),
+        }
+    }
+
     /// Runs full patch-based inference in float precision.
     ///
     /// # Errors
     ///
     /// Returns [`PatchError`] when the input shape mismatches or a region
     /// operation fails.
-    pub fn run(&self, input: &Tensor) -> Result<PatchOutput, PatchError> {
+    pub fn run(&mut self, input: &Tensor) -> Result<PatchOutput, PatchError> {
         self.run_quantized(input, None)
     }
 
@@ -90,10 +130,50 @@ impl<'g> PatchExecutor<'g> {
     /// Returns [`PatchError::BitwidthLength`] when a parameter vector has
     /// the wrong length, or propagated graph/tensor errors.
     pub fn run_quantized(
-        &self,
+        &mut self,
         input: &Tensor,
         branch_quant: Option<&[Vec<QuantParams>]>,
     ) -> Result<PatchOutput, PatchError> {
+        let mut out = self.make_output();
+        self.run_quantized_into(input, branch_quant, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs full patch-based inference into a reused [`PatchOutput`]: the
+    /// allocation-free counterpart of [`PatchExecutor::run_quantized`].
+    /// `out` should come from [`PatchExecutor::make_output`] (or an
+    /// earlier run); buffers with unexpected shapes are reallocated once
+    /// and reused thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PatchExecutor::run_quantized`].
+    pub fn run_quantized_into(
+        &mut self,
+        input: &Tensor,
+        branch_quant: Option<&[Vec<QuantParams>]>,
+        out: &mut PatchOutput,
+    ) -> Result<(), PatchError> {
+        self.run_stage_into(input, branch_quant, out)?;
+        self.tail
+            .run_float_into(&mut self.tail_state, &out.stage_output, &mut out.final_output)
+            .map_err(PatchError::from)
+    }
+
+    /// Runs the per-patch stage only — branches plus stitching — filling
+    /// `out.stage_output` and `out.branch_outputs` and leaving
+    /// `out.final_output` untouched. This is what a deployment with its
+    /// own (integer) tail executor uses, skipping the float tail entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PatchExecutor::run_quantized`].
+    pub fn run_stage_into(
+        &mut self,
+        input: &Tensor,
+        branch_quant: Option<&[Vec<QuantParams>]>,
+        out: &mut PatchOutput,
+    ) -> Result<(), PatchError> {
         if let Some(q) = branch_quant {
             if q.len() != self.branches.len() {
                 return Err(PatchError::BitwidthLength {
@@ -110,54 +190,92 @@ impl<'g> PatchExecutor<'g> {
                 }
             }
         }
+        if input.shape() != self.head.input_shape() {
+            return Err(PatchError::Graph(GraphError::InputShapeMismatch {
+                expected: self.head.input_shape(),
+                actual: input.shape(),
+            }));
+        }
         let stage_shape = self.head.output_shape();
-        let mut stage_output = Tensor::zeros(stage_shape);
-        let mut branch_outputs = Vec::with_capacity(self.branches.len());
-        for (bi, branch) in self.branches.iter().enumerate() {
+        ensure_shape(&mut out.stage_output, stage_shape);
+        if out.branch_outputs.len() != self.branches.len() {
+            out.branch_outputs =
+                self.branches.iter().map(|_| Tensor::zeros(Shape::hwc(1, 1, 1))).collect();
+        }
+        let PatchExecutor { graph, head, branches, arena, maps, .. } = self;
+        for (bi, branch) in branches.iter().enumerate() {
+            let patch = &mut out.branch_outputs[bi];
+            ensure_shape(patch, patch_shape(stage_shape, branch.output_region()));
             let quant = branch_quant.map(|q| q[bi].as_slice());
-            let patch = self.run_branch(input, branch, quant)?;
-            stage_output.paste(branch.output_region(), &patch)?;
-            branch_outputs.push(patch);
+            run_branch_into(graph, head, branch, arena, maps, input, quant, patch)?;
+            out.stage_output.paste(branch.output_region(), patch)?;
         }
-        let final_output = FloatExecutor::new(&self.tail_graph).run(&stage_output)?;
-        Ok(PatchOutput { stage_output, branch_outputs, final_output })
+        Ok(())
     }
+}
 
-    /// Computes one branch's stage-output patch via region-restricted
-    /// execution over the head DAG (residual adds and concats included).
-    fn run_branch(
-        &self,
-        input: &Tensor,
-        branch: &Branch,
-        quant: Option<&[QuantParams]>,
-    ) -> Result<Tensor, PatchError> {
-        let regions = branch.regions();
-        let mut maps: Vec<Tensor> = Vec::with_capacity(self.head.len() + 1);
-        maps.push(if let Some(q) = quant {
-            fake_quant_region(input, regions[0], &q[0])
-        } else {
-            input.clone()
-        });
-        for i in 0..self.head.len() {
-            let out_shape = self.head.node_shape(i);
-            let mut out = Tensor::zeros(out_shape);
-            let inputs: Vec<&Tensor> =
-                self.head.nodes()[i].inputs.iter().map(|s| &maps[src_fm(*s)]).collect();
-            eval_region(
-                self.head.nodes()[i].op,
-                &inputs,
-                &mut out,
-                regions[i + 1],
-                self.graph.params(i).weights(),
-                self.graph.params(i).bias(),
-            );
-            if let Some(q) = quant {
-                out = fake_quant_region(&out, regions[i + 1], &q[i + 1]);
-            }
-            maps.push(out);
-        }
-        Ok(maps.last().expect("head output").crop(branch.output_region())?)
+/// Shape of one branch's stage-output patch.
+fn patch_shape(stage: Shape, region: Region) -> Shape {
+    Shape::new(stage.n, region.h, region.w, stage.c)
+}
+
+/// Reallocates `t` as zeros of `shape` unless it already has that shape.
+fn ensure_shape(t: &mut Tensor, shape: Shape) {
+    if t.shape() != shape {
+        *t = Tensor::zeros(shape);
     }
+}
+
+/// Computes one branch's stage-output patch via region-restricted
+/// execution over the head DAG (residual adds and concats included),
+/// writing it into `out_patch`. Feature maps come from `arena` and are
+/// returned to it before the function exits; map regions outside the
+/// branch's computed halo hold unspecified scratch, which the
+/// receptive-field algebra guarantees no kernel ever reads.
+#[allow(clippy::too_many_arguments)]
+fn run_branch_into(
+    graph: &Graph,
+    head: &GraphSpec,
+    branch: &Branch,
+    arena: &mut Arena<f32>,
+    maps: &mut Vec<Tensor>,
+    input: &Tensor,
+    quant: Option<&[QuantParams]>,
+    out_patch: &mut Tensor,
+) -> Result<(), PatchError> {
+    let regions = branch.regions();
+    let mut m0 = {
+        let mut buf = arena.take(input.data().len());
+        buf.copy_from_slice(input.data());
+        Tensor::from_vec(input.shape(), buf).expect("arena length matches")
+    };
+    if let Some(q) = quant {
+        fake_quant_region(&mut m0, regions[0], &q[0]);
+    }
+    maps.push(m0);
+    for i in 0..head.len() {
+        let out_shape = head.node_shape(i);
+        let mut t =
+            Tensor::from_vec(out_shape, arena.take(out_shape.len())).expect("arena length matches");
+        eval_region(
+            &head.nodes()[i],
+            maps,
+            &mut t,
+            regions[i + 1],
+            graph.params(i).weights(),
+            graph.params(i).bias(),
+        );
+        if let Some(q) = quant {
+            fake_quant_region(&mut t, regions[i + 1], &q[i + 1]);
+        }
+        maps.push(t);
+    }
+    let result = maps.last().expect("head output").crop_into(branch.output_region(), out_patch);
+    for t in maps.drain(..) {
+        arena.give(t.into_vec());
+    }
+    result?;
+    Ok(())
 }
 
 fn src_fm(s: Source) -> usize {
@@ -167,41 +285,41 @@ fn src_fm(s: Source) -> usize {
     }
 }
 
-/// Quantize-dequantizes the values inside `region` (all channels), leaving
-/// the rest of the tensor untouched.
-fn fake_quant_region(t: &Tensor, region: Region, params: &QuantParams) -> Tensor {
-    let mut out = t.clone();
+/// Quantize-dequantizes the values inside `region` (all channels) in
+/// place, leaving the rest of the tensor untouched.
+fn fake_quant_region(t: &mut Tensor, region: Region, params: &QuantParams) {
     let shape = t.shape();
     for n in 0..shape.n {
         for y in region.y..region.y_end().min(shape.h) {
             for x in region.x..region.x_end().min(shape.w) {
                 for c in 0..shape.c {
-                    let v = out.at(n, y, x, c);
-                    out.set(n, y, x, c, params.dequantize(params.quantize(v)));
+                    let v = t.at(n, y, x, c);
+                    t.set(n, y, x, c, params.dequantize(params.quantize(v)));
                 }
             }
         }
     }
-    out
 }
 
-/// Evaluates a spatial operator only within `region` of the output map by
-/// dispatching into the shared kernel layer ([`quantmcu_nn::kernels`]).
-/// Reads outside the input map's bounds behave as zero padding, exactly
-/// like full execution.
+/// Evaluates `node` only within `region` of the output map by dispatching
+/// into the shared kernel layer ([`quantmcu_nn::kernels`]), reading its
+/// inputs from `maps` ([`quantmcu_nn::FeatureMapId`] numbering). Reads
+/// outside the input map's bounds behave as zero padding, exactly like
+/// full execution.
 fn eval_region(
-    op: OpSpec,
-    inputs: &[&Tensor],
+    node: &NodeSpec,
+    maps: &[Tensor],
     out: &mut Tensor,
     region: Region,
     weights: &[f32],
     bias: &[f32],
 ) {
-    let input = inputs[0];
+    let slot = |s: Source| -> &Tensor { &maps[src_fm(s)] };
+    let input = slot(node.inputs[0]);
     let is = input.shape();
     let os = out.shape();
     let dot = FloatDot { weights, bias };
-    match op {
+    match node.op {
         OpSpec::Conv2d { out_ch, kernel, stride, pad } => kernels::conv2d(
             &dot,
             input.data(),
@@ -224,20 +342,26 @@ fn eval_region(
         }
         OpSpec::Relu => kernels::relu(input.data(), is, out.data_mut(), f32::INFINITY, region),
         OpSpec::Relu6 => kernels::relu(input.data(), is, out.data_mut(), 6.0, region),
-        OpSpec::Add => kernels::add(input.data(), inputs[1].data(), os, out.data_mut(), region),
+        OpSpec::Add => {
+            kernels::add(input.data(), slot(node.inputs[1]).data(), os, out.data_mut(), region)
+        }
         OpSpec::Concat => kernels::concat(
-            inputs.iter().map(|t| (t.data(), t.shape())),
+            node.inputs.iter().map(|&s| {
+                let t = slot(s);
+                (t.data(), t.shape())
+            }),
             out.data_mut(),
             os,
             region,
         ),
-        _ => unreachable!("non-spatial operator {op} cannot appear in a per-patch stage"),
+        _ => unreachable!("non-spatial operator {} cannot appear in a per-patch stage", node.op),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quantmcu_nn::exec::FloatExecutor;
     use quantmcu_nn::{init, GraphSpecBuilder};
     use quantmcu_tensor::{Bitwidth, Shape};
 
@@ -263,7 +387,7 @@ mod tests {
     fn stitched_equals_full_execution() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         let out = pe.run(&input()).unwrap();
         let full = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         // Stage output (feature map 5) must match exactly.
@@ -281,17 +405,41 @@ mod tests {
     fn three_by_three_grid_also_exact() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 3, 3).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         let out = pe.run(&input()).unwrap();
         let full = FloatExecutor::new(&g).run(&input()).unwrap();
         assert!(out.final_output.mean_abs_diff(&full) < 1e-4);
     }
 
     #[test]
+    fn repeated_runs_reuse_buffers_and_agree() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let fresh = pe.run(&input()).unwrap();
+        let mut reused = pe.make_output();
+        for _ in 0..3 {
+            pe.run_quantized_into(&input(), None, &mut reused).unwrap();
+            assert_eq!(fresh, reused, "reused-buffer run must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        assert!(matches!(
+            pe.run(&Tensor::zeros(Shape::hwc(15, 16, 3))),
+            Err(PatchError::Graph(GraphError::InputShapeMismatch { .. }))
+        ));
+    }
+
+    #[test]
     fn quantized_branches_stay_close_at_8_bit() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         // Build per-branch 8-bit params from a float trace.
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         let params: Vec<QuantParams> =
@@ -307,7 +455,7 @@ mod tests {
     fn two_bit_branches_lose_more_than_8_bit() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         let mk = |b: Bitwidth| -> Vec<Vec<QuantParams>> {
             let p: Vec<QuantParams> =
@@ -332,7 +480,7 @@ mod tests {
     fn mixed_per_branch_bitwidths_accepted() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         // Branch 0 at 8-bit (outlier class), others at 2-bit.
         let p8: Vec<QuantParams> =
@@ -348,7 +496,7 @@ mod tests {
     fn wrong_quant_lengths_rejected() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut pe = PatchExecutor::new(&g, plan).unwrap();
         let bad: Vec<Vec<QuantParams>> = vec![Vec::new(); 4];
         assert!(matches!(
             pe.run_quantized(&input(), Some(&bad)),

@@ -1,0 +1,106 @@
+//! Allocation-regression test for the patch engine: after one warm-up
+//! inference, a **full** patch-based inference — head branches, stitching
+//! and the cached compiled tail — performs **zero** heap allocations when
+//! driven through [`PatchExecutor::run_quantized_into`] with a reused
+//! [`PatchOutput`].
+//!
+//! This pins the compile-once design: the tail is a
+//! `CompiledGraph` + `ExecState` cached at construction (no per-inference
+//! `FloatExecutor` rebuild), and branch feature maps live in an
+//! executor-owned arena.
+
+use quantmcu_nn::exec::FloatExecutor;
+use quantmcu_nn::{init, GraphSpecBuilder};
+use quantmcu_patch::{PatchExecutor, PatchPlan};
+use quantmcu_tensor::{Bitwidth, QuantParams, Shape, Tensor};
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+fn graph() -> quantmcu_nn::Graph {
+    let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+        .conv2d(8, 3, 2, 1)
+        .relu6()
+        .dwconv(3, 1, 1)
+        .relu6()
+        .pwconv(12)
+        .global_avg_pool()
+        .dense(10)
+        .build()
+        .unwrap();
+    init::with_structured_weights(spec, 21)
+}
+
+fn input() -> Tensor {
+    Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i as f32) * 0.31).sin())
+}
+
+#[test]
+fn full_patch_inference_is_allocation_free_after_warmup() {
+    let g = graph();
+    let x = input();
+    let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let mut out = pe.make_output();
+    // Warm-up: arenas reach their fixed point, scratch vectors their
+    // steady capacity.
+    pe.run_quantized_into(&x, None, &mut out).unwrap();
+    pe.run_quantized_into(&x, None, &mut out).unwrap();
+    let expected = out.clone();
+
+    let before = alloc_counter::allocation_count();
+    for _ in 0..20 {
+        pe.run_quantized_into(&x, None, &mut out).unwrap();
+    }
+    let after = alloc_counter::allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state patch inference must not allocate ({} allocations over 20 runs)",
+        after - before
+    );
+    assert_eq!(out, expected, "zero-allocation path must stay bit-identical");
+}
+
+#[test]
+fn quantized_patch_inference_is_allocation_free_after_warmup() {
+    let g = graph();
+    let x = input();
+    let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    // Per-branch 8-bit params from a float trace (setup may allocate).
+    let trace = FloatExecutor::new(&g).run_trace(&x).unwrap();
+    let params: Vec<QuantParams> =
+        trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W8)).collect();
+    let per_branch = vec![params; 4];
+    let mut out = pe.make_output();
+    pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
+    pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
+
+    let before = alloc_counter::allocation_count();
+    for _ in 0..20 {
+        pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
+    }
+    let after = alloc_counter::allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fake-quantized patch inference must not allocate \
+         ({} allocations over 20 runs)",
+        after - before
+    );
+}
+
+#[test]
+fn reused_output_matches_fresh_run() {
+    // Sanity companion: the allocation-free path computes the same
+    // numbers as the allocating convenience API.
+    let g = graph();
+    let x = input();
+    let plan = PatchPlan::new(g.spec(), 5, 3, 3).unwrap();
+    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let fresh = pe.run(&x).unwrap();
+    let mut reused = pe.make_output();
+    pe.run_quantized_into(&x, None, &mut reused).unwrap();
+    assert_eq!(fresh, reused);
+}

@@ -75,14 +75,51 @@ pub fn build_table(
     let mut full = Vec::with_capacity(fm_values.len());
     let mut reductions = Vec::with_capacity(fm_values.len());
     for values in fm_values {
-        full.push(full_precision_entropy(values, k)?);
-        let row = candidates
-            .iter()
-            .map(|&b| entropy_reduction(values, b, k))
-            .collect::<Result<Vec<_>, _>>()?;
+        let (h, row) = table_row(values, candidates, k)?;
+        full.push(h);
         reductions.push(row);
     }
     Ok(EntropyTable { full, reductions })
+}
+
+/// [`build_table`] fanned out over `workers` scoped threads: the table is
+/// per-feature-map independent, so contiguous chunks of maps are scored
+/// concurrently and reassembled **in map order** — the result is
+/// bit-identical to the serial build for every worker count.
+/// `workers = 1` is exactly [`build_table`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::Statistics`] when any feature map's sample is
+/// empty.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn build_table_parallel(
+    fm_values: &[Vec<f32>],
+    candidates: &[Bitwidth],
+    k: usize,
+    workers: usize,
+) -> Result<EntropyTable, QuantError> {
+    let rows =
+        quantmcu_tensor::par::try_par_map(fm_values, workers, |v| table_row(v, candidates, k))?;
+    let (full, reductions) = rows.into_iter().unzip();
+    Ok(EntropyTable { full, reductions })
+}
+
+/// One feature map's table row: `(H, ΔH per candidate)`.
+fn table_row(
+    values: &[f32],
+    candidates: &[Bitwidth],
+    k: usize,
+) -> Result<(f64, Vec<f64>), QuantError> {
+    let full = full_precision_entropy(values, k)?;
+    let row = candidates
+        .iter()
+        .map(|&b| entropy_reduction(values, b, k))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((full, row))
 }
 
 #[cfg(test)]
@@ -133,5 +170,21 @@ mod tests {
     #[test]
     fn empty_feature_map_is_an_error() {
         assert!(build_table(&[Vec::new()], &Bitwidth::SEARCH_CANDIDATES, 512).is_err());
+        assert!(build_table_parallel(&[Vec::new()], &Bitwidth::SEARCH_CANDIDATES, 512, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_table_is_bit_identical_to_serial() {
+        let fms: Vec<Vec<f32>> = (0..7)
+            .map(|s| {
+                (0..2048).map(|i| ((i + 97 * s) as f32 * 0.013).sin() * (s + 1) as f32).collect()
+            })
+            .collect();
+        let serial = build_table(&fms, &Bitwidth::SEARCH_CANDIDATES, 512).unwrap();
+        for workers in [2, 3, 7, 16] {
+            let parallel =
+                build_table_parallel(&fms, &Bitwidth::SEARCH_CANDIDATES, 512, workers).unwrap();
+            assert_eq!(serial, parallel, "worker count {workers} changed the table");
+        }
     }
 }

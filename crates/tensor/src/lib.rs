@@ -35,6 +35,7 @@ mod arena;
 mod bitwidth;
 mod error;
 pub mod pack;
+pub mod par;
 mod qtensor;
 mod quantize;
 mod shape;

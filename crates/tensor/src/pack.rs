@@ -10,9 +10,17 @@ use crate::bitwidth::Bitwidth;
 
 /// Packs `i8` working values into the sub-byte deployed layout.
 ///
-/// For `W8` (or wider) this is a plain two's-complement byte copy.
-/// Values are masked to the bitwidth, so out-of-range inputs wrap; callers
-/// quantize (and therefore clamp) before packing.
+/// For `W8` this is a plain two's-complement byte copy. Values are masked
+/// to the bitwidth, so out-of-range inputs wrap; callers quantize (and
+/// therefore clamp) before packing.
+///
+/// # Panics
+///
+/// Panics for bitwidths wider than 8 bits (`W16`/`W32`): those exist for
+/// accumulator accounting only and have no CMix-NN storage layout — an
+/// `i8` buffer cannot even hold their values, so a wide-bitwidth call is
+/// a caller bug, not a storage request. (Earlier revisions silently
+/// truncated the width to 8, masking exactly that bug.)
 ///
 /// # Example
 ///
@@ -24,7 +32,7 @@ use crate::bitwidth::Bitwidth;
 /// assert_eq!(pack::unpack(&packed, Bitwidth::W4, 3), vec![1, -2, 0]);
 /// ```
 pub fn pack(values: &[i8], bitwidth: Bitwidth) -> Vec<u8> {
-    let bits = bitwidth.bits().min(8) as usize;
+    let bits = storage_bits(bitwidth);
     if bits == 8 {
         return values.iter().map(|&v| v as u8).collect();
     }
@@ -44,9 +52,10 @@ pub fn pack(values: &[i8], bitwidth: Bitwidth) -> Vec<u8> {
 ///
 /// # Panics
 ///
-/// Panics when `bytes` is shorter than `bitwidth.bytes_for(len)`.
+/// Panics when `bytes` is shorter than `bitwidth.bytes_for(len)`, or for
+/// bitwidths wider than 8 bits (see [`pack`]).
 pub fn unpack(bytes: &[u8], bitwidth: Bitwidth, len: usize) -> Vec<i8> {
-    let bits = bitwidth.bits().min(8) as usize;
+    let bits = storage_bits(bitwidth);
     assert!(
         bytes.len() >= bitwidth.bytes_for(len),
         "packed buffer too short: {} bytes for {len} values at {bitwidth}",
@@ -63,6 +72,15 @@ pub fn unpack(bytes: &[u8], bitwidth: Bitwidth, len: usize) -> Vec<i8> {
             sign_extend(field, bits)
         })
         .collect()
+}
+
+/// The storage width of `bitwidth`, rejecting widths the `i8`-based
+/// CMix-NN layout cannot represent.
+#[inline]
+fn storage_bits(bitwidth: Bitwidth) -> usize {
+    let bits = bitwidth.bits();
+    assert!(bits <= 8, "{bitwidth} has no packed CMix-NN layout (accounting-only bitwidth)");
+    bits as usize
 }
 
 /// Sign-extends a `bits`-wide two's-complement field to `i8`.
@@ -127,5 +145,56 @@ mod tests {
     #[should_panic(expected = "packed buffer too short")]
     fn unpack_checks_length() {
         unpack(&[0u8], Bitwidth::W8, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no packed CMix-NN layout")]
+    fn pack_rejects_wide_bitwidths() {
+        pack(&[0, 1, 2], Bitwidth::W16);
+    }
+
+    #[test]
+    #[should_panic(expected = "no packed CMix-NN layout")]
+    fn unpack_rejects_wide_bitwidths() {
+        unpack(&[0u8; 12], Bitwidth::W32, 3);
+    }
+
+    mod roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// In-range values for a storage bitwidth, derived from a raw seed
+        /// vector so lengths (odd ones included) vary freely.
+        fn clamp_to(bits: Bitwidth, raw: &[i8]) -> Vec<i8> {
+            let (lo, hi) = (bits.min_value() as i8, bits.max_value() as i8);
+            raw.iter().map(|&v| v.clamp(lo, hi)).collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn pack_unpack_roundtrips_all_storage_bitwidths(
+                raw in prop::collection::vec(-128i8..=127, 0..65),
+                which in 0usize..3,
+            ) {
+                let bits = [Bitwidth::W2, Bitwidth::W4, Bitwidth::W8][which];
+                let values = clamp_to(bits, &raw);
+                let packed = pack(&values, bits);
+                prop_assert_eq!(packed.len(), bits.bytes_for(values.len()));
+                prop_assert_eq!(unpack(&packed, bits, values.len()), values);
+            }
+
+            #[test]
+            fn unpack_tolerates_oversized_buffers(
+                raw in prop::collection::vec(-8i8..=7, 1..33),
+                extra in 1usize..5,
+            ) {
+                let values = clamp_to(Bitwidth::W4, &raw);
+                let mut packed = pack(&values, Bitwidth::W4);
+                packed.extend(std::iter::repeat(0xFFu8).take(extra));
+                prop_assert_eq!(unpack(&packed, Bitwidth::W4, values.len()), values);
+            }
+        }
     }
 }

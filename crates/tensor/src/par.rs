@@ -1,0 +1,137 @@
+//! Deterministic scoped-thread parallel maps.
+//!
+//! The parallel shape every planner stage shares: per-item work is
+//! independent, items are split into contiguous chunks over scoped
+//! threads, and results are reassembled **in item order** — so the
+//! output is bit-identical to a serial map for any worker count.
+//! `workers <= 1` always runs inline on the calling thread (no spawn).
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// results in item order.
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread (propagated).
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match try_par_map(items, workers, |item| Ok::<R, std::convert::Infallible>(f(item))) {
+        Ok(results) => results,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` on up to `workers` scoped
+/// threads, returning results in item order or the error of the
+/// earliest-indexed failing chunk.
+///
+/// # Errors
+///
+/// Returns the first error `f` produced (by chunk order).
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread (propagated).
+pub fn try_par_map<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(workers);
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || -> Result<(), E> {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item)?);
+                }
+                Ok(())
+            }));
+        }
+        handles.into_iter().try_for_each(|h| h.join().expect("par_map worker panicked"))
+    })?;
+    Ok(results.into_iter().map(|r| r.expect("every slot filled")).collect())
+}
+
+/// Mutates every item in place on up to `workers` scoped threads; `f`
+/// receives each item's index alongside the mutable reference (so
+/// sibling lookup tables can be indexed without zipping copies).
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread (propagated).
+pub fn par_for_each_mut<T, F>(items: &mut [T], workers: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (j, item) in chunk_items.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..23).collect();
+        let serial: Vec<usize> = items.iter().map(|&i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(serial, par_map(&items, workers, |&i| i * i));
+        }
+    }
+
+    #[test]
+    fn try_par_map_propagates_errors() {
+        let items: Vec<usize> = (0..10).collect();
+        let r = try_par_map(&items, 3, |&i| if i == 7 { Err("boom") } else { Ok(i) });
+        assert_eq!(r, Err("boom"));
+        assert_eq!(try_par_map(&items, 3, |&i| Ok::<_, ()>(i)).unwrap(), items);
+    }
+
+    #[test]
+    fn par_for_each_mut_sees_correct_indices() {
+        let mut items = vec![0usize; 17];
+        for workers in [1, 2, 4, 17] {
+            items.iter_mut().for_each(|v| *v = 0);
+            par_for_each_mut(&mut items, workers, |i, v| *v = i + 1);
+            let expected: Vec<usize> = (1..=17).collect();
+            assert_eq!(items, expected, "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(par_map(&[] as &[u8], 4, |_| 0).is_empty());
+        let mut empty: [u8; 0] = [];
+        par_for_each_mut(&mut empty, 4, |_, _| {});
+    }
+}

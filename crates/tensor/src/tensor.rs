@@ -104,9 +104,33 @@ impl Tensor {
     /// Returns [`TensorError::RegionOutOfBounds`] when `region` extends past
     /// the spatial bounds.
     pub fn crop(&self, region: Region) -> Result<Tensor, TensorError> {
+        // Validate before sizing the output: a bogus region must error,
+        // not drive a huge zero-fill allocation.
         region.check_within(self.shape.h, self.shape.w)?;
         let out_shape = Shape::new(self.shape.n, region.h, region.w, self.shape.c);
         let mut out = Tensor::zeros(out_shape);
+        self.crop_into(region, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the spatial crop `region` of `self` into `out`, which must
+    /// already have the crop's shape — the allocation-free counterpart of
+    /// [`Tensor::crop`] for callers reusing an output buffer across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RegionOutOfBounds`] when `region` extends
+    /// past the spatial bounds, or [`TensorError::ShapeMismatch`] when
+    /// `out` does not have the crop's shape.
+    pub fn crop_into(&self, region: Region, out: &mut Tensor) -> Result<(), TensorError> {
+        region.check_within(self.shape.h, self.shape.w)?;
+        let out_shape = Shape::new(self.shape.n, region.h, region.w, self.shape.c);
+        if out.shape != out_shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: out_shape.len(),
+                actual: out.shape.len(),
+            });
+        }
         for n in 0..self.shape.n {
             for y in 0..region.h {
                 for x in 0..region.w {
@@ -117,7 +141,7 @@ impl Tensor {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes `patch` into the spatial crop `region` of `self`.

@@ -18,7 +18,7 @@ fn facade_exposes_the_full_pipeline() {
     let g = graph(Model::McuNet);
     let planner: Planner = Planner::new(QuantMcuConfig::default());
     let plan: DeploymentPlan = planner.plan(&g, &calib(4), 16 * 1024).unwrap();
-    let deployment: Deployment<'_> = Deployment::new(&g, plan).unwrap();
+    let mut deployment: Deployment<'_> = Deployment::new(&g, plan).unwrap();
     let inputs = eval(4);
     let quant = deployment.run_batch(&inputs).unwrap();
     let float: Vec<_> =

@@ -53,7 +53,7 @@ fn deployed_accuracy_stays_close_to_float() {
     // At exec scale, demand >= 90% top-1 agreement with the float model.
     let g = graph(Model::MobileNetV2);
     let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(6), SRAM).unwrap();
-    let deployment = Deployment::new(&g, plan).unwrap();
+    let mut deployment = Deployment::new(&g, plan).unwrap();
     let inputs = eval(24);
     let quant = deployment.run_batch(&inputs).unwrap();
     let mut float_exec = FloatExecutor::new(&g);
@@ -78,7 +78,7 @@ fn pipeline_works_across_the_model_zoo() {
             .plan(&g, &calib(4), SRAM)
             .unwrap_or_else(|e| panic!("{model}: {e}"));
         assert!(plan.bitops() <= plan.baseline_patch_bitops(), "{model}");
-        let deployment = Deployment::new(&g, plan).unwrap();
+        let mut deployment = Deployment::new(&g, plan).unwrap();
         let out = deployment.run(&eval(1)[0]).unwrap();
         assert!(out.data().iter().all(|v| v.is_finite()), "{model}");
     }
@@ -92,7 +92,7 @@ fn ablation_never_beats_protected_plan_on_fidelity() {
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = |cfg: QuantMcuConfig| {
         let plan = Planner::new(cfg).plan(&g, &calib(6), SRAM).unwrap();
-        let dep = Deployment::new(&g, plan).unwrap();
+        let mut dep = Deployment::new(&g, plan).unwrap();
         agreement_top1(&float, &dep.run_batch(&inputs).unwrap())
     };
     let protected = fidelity(QuantMcuConfig::paper());

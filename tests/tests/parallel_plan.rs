@@ -1,0 +1,93 @@
+//! Determinism of the parallel planner: `Planner::plan` (and
+//! `plan_uniform`) must produce a **bit-identical** `DeploymentPlan` for
+//! every worker count. The parallel calibration prologue merges
+//! per-chunk value samples in image order, so nothing downstream — VDPC
+//! classification, entropy tables, the VDQS searches, the calibrated
+//! ranges — can observe which worker count produced its inputs.
+
+use std::time::Duration;
+
+use quantmcu::tensor::{Bitwidth, Shape, Tensor};
+use quantmcu::{DeploymentPlan, Planner, QuantMcuConfig};
+
+fn graph() -> quantmcu::nn::Graph {
+    let spec = quantmcu::nn::GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+        .conv2d(8, 3, 2, 1)
+        .relu6()
+        .dwconv(3, 1, 1)
+        .relu6()
+        .pwconv(16)
+        .relu6()
+        .conv2d(24, 3, 2, 1)
+        .relu6()
+        .global_avg_pool()
+        .dense(10)
+        .build()
+        .unwrap();
+    quantmcu::nn::init::with_structured_weights(spec, 13)
+}
+
+fn calib(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|s| {
+            Tensor::from_fn(Shape::hwc(16, 16, 3), |i| {
+                let base = ((i + 311 * s) as f32 * 0.23).sin() * 0.5;
+                let (y, x) = ((i / 3) / 16, (i / 3) % 16);
+                if s % 2 == 0 && y < 4 && x < 4 {
+                    base + 8.0
+                } else {
+                    base
+                }
+            })
+        })
+        .collect()
+}
+
+/// Strips the wall-clock measurement, the one field allowed to differ.
+fn timeless(mut plan: DeploymentPlan) -> DeploymentPlan {
+    plan.search_time = Duration::ZERO;
+    plan
+}
+
+fn planner(workers: usize) -> Planner {
+    Planner::new(QuantMcuConfig { workers, ..QuantMcuConfig::paper() })
+}
+
+#[test]
+fn parallel_plan_is_bit_identical_to_serial_for_any_worker_count() {
+    let g = graph();
+    let images = calib(7);
+    let serial = timeless(planner(1).plan(&g, &images, 256 * 1024).unwrap());
+    for workers in [2, 3, 4, 7, 16] {
+        let parallel = timeless(planner(workers).plan(&g, &images, 256 * 1024).unwrap());
+        assert_eq!(serial, parallel, "worker count {workers} changed the plan");
+    }
+}
+
+#[test]
+fn parallel_plan_uniform_is_bit_identical_to_serial() {
+    let g = graph();
+    let images = calib(6);
+    let serial = timeless(planner(1).plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024).unwrap());
+    for workers in [2, 4, 6] {
+        let parallel =
+            timeless(planner(workers).plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024).unwrap());
+        assert_eq!(serial, parallel, "worker count {workers} changed the uniform plan");
+    }
+}
+
+#[test]
+fn ranges_and_classes_survive_odd_chunkings() {
+    // Worker counts that do not divide the calibration set exercise the
+    // ragged-final-chunk path of the chunked prologue.
+    let g = graph();
+    let images = calib(5);
+    let serial = timeless(planner(1).plan(&g, &images, 256 * 1024).unwrap());
+    for workers in [2, 3, 4] {
+        let parallel = timeless(planner(workers).plan(&g, &images, 256 * 1024).unwrap());
+        assert_eq!(serial.branch_ranges(), parallel.branch_ranges());
+        assert_eq!(serial.patch_classes, parallel.patch_classes);
+        assert_eq!(serial.branch_bits, parallel.branch_bits);
+        assert_eq!(serial.tail_bits, parallel.tail_bits);
+    }
+}

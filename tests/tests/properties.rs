@@ -89,7 +89,7 @@ proptest! {
             .unwrap();
         let graph = init::with_structured_weights(spec, seed);
         let plan = PatchPlan::new(graph.spec(), 3, rows, cols).unwrap();
-        let pe = PatchExecutor::new(&graph, plan).unwrap();
+        let mut pe = PatchExecutor::new(&graph, plan).unwrap();
         let input = Tensor::from_fn(Shape::hwc(12, 12, 3), |i| ((i as u64 ^ seed) as f32 * 0.01).sin());
         let patched = pe.run(&input).unwrap();
         let full = FloatExecutor::new(&graph).run(&input).unwrap();
