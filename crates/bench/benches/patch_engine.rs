@@ -34,9 +34,10 @@ fn patch_vs_layer(c: &mut Criterion) {
     });
     for grid in [2usize, 3, 4] {
         let plan = PatchPlan::new(g.spec(), 5, grid, grid).expect("plan");
-        let mut pe = PatchExecutor::new(&g, plan).expect("executor");
+        let pe = PatchExecutor::new(&g, plan).expect("executor");
+        let mut state = pe.make_state();
         group.bench_with_input(BenchmarkId::new("patched", grid), &grid, |b, _| {
-            b.iter(|| pe.run(&x).expect("run"))
+            b.iter(|| pe.run(&mut state, &x).expect("run"))
         });
     }
     group.finish();

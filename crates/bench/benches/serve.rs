@@ -1,0 +1,41 @@
+//! Serving-throughput benchmarks: one immutable `Deployment` shared by
+//! per-worker `Session`s, swept across worker counts — the serving-side
+//! counterpart of the planner-throughput sweep in `planner.rs`. On a
+//! single-core host the sweep degenerates to parity, which is itself
+//! worth pinning: the multi-session path must not be slower than one
+//! warm session at `workers = 1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use quantmcu::models::Model;
+use quantmcu::tensor::Tensor;
+use quantmcu::{Engine, SramBudget};
+use quantmcu_bench::{exec_dataset, exec_graph, EXEC_SRAM};
+
+fn serving_throughput(c: &mut Criterion) {
+    let engine = Engine::builder(exec_graph(Model::MobileNetV2))
+        .sram_budget(SramBudget::new(EXEC_SRAM))
+        .build();
+    let ds = exec_dataset();
+    let plan = engine.plan(ds.images(8)).expect("plan");
+    let deployment = engine.deploy(plan).expect("deploy");
+    let inputs: Vec<Tensor> = (100..116).map(|i| ds.sample(i).0).collect();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    // One warm session, serial — the single-thread baseline.
+    group.bench_function("session_16img", |b| {
+        let mut session = deployment.session();
+        b.iter(|| session.run_batch(&inputs).expect("serve"))
+    });
+    // Shared deployment, one session per worker.
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("batch_16img", workers), &workers, |b, &w| {
+            b.iter(|| deployment.run_batch(&inputs, w).expect("serve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving_throughput);
+criterion_main!(benches);

@@ -35,12 +35,6 @@ fn measure(
     (best, plan.expect("at least one rep"))
 }
 
-/// Strips the wall-clock field so plans compare bit-for-bit.
-fn timeless(mut plan: DeploymentPlan) -> DeploymentPlan {
-    plan.search_time = Duration::ZERO;
-    plan
-}
-
 fn main() {
     let (images, reps) = if smoke() { (8, 1) } else { (32, 3) };
     let graph = exec_graph(Model::MobileNetV2);
@@ -50,14 +44,14 @@ fn main() {
 
     println!("Planner throughput: {images}-image calibration set, best of {reps}\n");
     let (serial_time, serial_plan) = measure(&graph, &calib, 1, reps);
-    let serial_plan = timeless(serial_plan);
+    let serial_plan = serial_plan.timeless();
     let mut rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let (time, plan) = if workers == 1 {
             (serial_time, serial_plan.clone())
         } else {
             let (t, p) = measure(&graph, &calib, workers, reps);
-            (t, timeless(p))
+            (t, p.timeless())
         };
         let identical = plan == serial_plan;
         let speedup = serial_time.as_secs_f64() / time.as_secs_f64();

@@ -1,0 +1,87 @@
+//! Multi-session serving-throughput measurement emitting
+//! `BENCH_serve.json`, so the serving-speed trajectory is
+//! machine-readable across revisions — the serving-side companion of
+//! `bench_plan`.
+//!
+//! Plans and deploys once, then serves an evaluation batch through
+//! `Deployment::run_batch` (one per-thread `Session` per worker) at a
+//! sweep of worker counts, reporting wall clock, images/second, speedup
+//! versus serial — and cross-checking that every worker count produced
+//! bit-identical outputs (the serving determinism contract).
+//!
+//! Set `QUANTMCU_SMOKE=1` to shrink the batch and repetition count for CI
+//! smoke runs.
+
+use std::time::{Duration, Instant};
+
+use quantmcu::models::Model;
+use quantmcu::tensor::Tensor;
+use quantmcu::{Deployment, Engine, SramBudget};
+use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
+
+/// Best-of-N wall clock for one worker count, plus the produced outputs.
+fn measure(
+    deployment: &Deployment,
+    inputs: &[Tensor],
+    workers: usize,
+    reps: usize,
+) -> (Duration, Vec<Tensor>) {
+    let mut best = Duration::MAX;
+    let mut outputs = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = deployment.run_batch(inputs, workers).expect("serve");
+        best = best.min(start.elapsed());
+        outputs = Some(out);
+    }
+    (best, outputs.expect("at least one rep"))
+}
+
+fn main() {
+    let (batch, reps) = if smoke() { (8, 1) } else { (64, 3) };
+    let engine = Engine::builder(exec_graph(Model::MobileNetV2))
+        .sram_budget(SramBudget::new(EXEC_SRAM))
+        .build();
+    let ds = exec_dataset();
+    let plan = engine.plan(ds.images(8)).expect("plan");
+    let deployment = engine.deploy(plan).expect("deploy");
+    let inputs: Vec<Tensor> = (100..100 + batch).map(|i| ds.sample(i).0).collect();
+    let host_parallelism = quantmcu::default_workers();
+
+    println!("Serving throughput: one Deployment, {batch}-image batches, best of {reps}\n");
+    let (serial_time, serial_out) = measure(&deployment, &inputs, 1, reps);
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (time, out) = if workers == 1 {
+            (serial_time, serial_out.clone())
+        } else {
+            measure(&deployment, &inputs, workers, reps)
+        };
+        let identical = out == serial_out;
+        let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
+        let throughput = batch as f64 / time.as_secs_f64();
+        println!(
+            "  workers = {workers}: {:8.1} ms  {throughput:7.1} img/s  speedup {speedup:4.2}x  \
+             bit-identical: {identical}",
+            time.as_secs_f64() * 1e3
+        );
+        assert!(identical, "worker count {workers} changed the outputs");
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"images_per_second\": \
+             {throughput:.2}, \"speedup\": {speedup:.4}, \"bit_identical\": {identical}}}",
+            time.as_secs_f64()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving_throughput\",\n  \"model\": \"MobileNetV2 (exec scale)\",\n  \
+         \"batch\": {batch},\n  \"reps\": {reps},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // Smoke runs exist to catch runtime panics; don't let their shrunken
+    // measurements clobber the committed full-config snapshot.
+    let path = if smoke() { "BENCH_serve.smoke.json" } else { "BENCH_serve.json" };
+    std::fs::write(path, &json).expect("write serve benchmark JSON");
+    println!("\nwrote {path} ({} bytes)", json.len());
+}

@@ -32,7 +32,7 @@ fn main() {
     let eval = evaluation(&ds);
     let mut fidelities = Vec::new();
     for model in Model::FIG4 {
-        let graph = exec_graph(model);
+        let graph = std::sync::Arc::new(exec_graph(model));
         let planner8 = Planner::new(QuantMcuConfig::paper());
         let f_mcunet = deployment_fidelity(
             &graph,

@@ -17,7 +17,7 @@ use quantmcu_bench::{calibration, evaluation, exec_dataset, exec_graph, header, 
 const WIDTHS: [usize; 4] = [8, 9, 9, 10];
 
 fn main() {
-    let graph = exec_graph(Model::MobileNetV2);
+    let graph = std::sync::Arc::new(exec_graph(Model::MobileNetV2));
     let ds = exec_dataset();
     let calib = calibration(&ds);
     let eval = evaluation(&ds);
@@ -30,8 +30,8 @@ fn main() {
         let cfg = QuantMcuConfig { vdpc: VdpcConfig::with_phi(phi), ..QuantMcuConfig::paper() };
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let outliers = plan.outlier_patch_count();
-        let mut deployment = Deployment::new(&graph, plan).expect("deploy");
-        let quant = deployment.run_batch(&eval).expect("run");
+        let deployment = Deployment::new(std::sync::Arc::clone(&graph), plan).expect("deploy");
+        let quant = deployment.session().run_batch(&eval).expect("run");
         let top1_fid = agreement_top1(&float, &quant);
         // Top-5 fidelity: the float argmax appears in the quantized top-5.
         let top5_hits = float

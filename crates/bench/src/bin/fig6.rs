@@ -24,7 +24,7 @@ fn main() {
 }
 
 fn print_assignment(plan: &DeploymentPlan) {
-    for (b, (bits, class)) in plan.branch_bits.iter().zip(&plan.patch_classes).enumerate() {
+    for (b, (bits, class)) in plan.branch_bits().iter().zip(plan.patch_classes()).enumerate() {
         let cells: Vec<String> = bits
             .iter()
             .enumerate()
@@ -36,17 +36,21 @@ fn print_assignment(plan: &DeploymentPlan) {
         };
         println!("  branch {}{}: {}", b + 1, tag, cells.join(" "));
     }
-    let tail: Vec<String> =
-        plan.tail_bits.iter().enumerate().map(|(l, bw)| format!("T{}={}", l, bw.bits())).collect();
+    let tail: Vec<String> = plan
+        .tail_bits()
+        .iter()
+        .enumerate()
+        .map(|(l, bw)| format!("T{}={}", l, bw.bits()))
+        .collect();
     println!("  tail: {}", tail.join(" "));
     let sub_byte = plan
-        .branch_bits
+        .branch_bits()
         .iter()
         .flatten()
-        .chain(plan.tail_bits.iter())
+        .chain(plan.tail_bits().iter())
         .filter(|b| b.is_sub_byte())
         .count();
-    let total = plan.branch_bits.iter().map(Vec::len).sum::<usize>() + plan.tail_bits.len();
+    let total = plan.branch_bits().iter().map(Vec::len).sum::<usize>() + plan.tail_bits().len();
     println!(
         "  sub-byte feature maps: {sub_byte}/{total} ({:.0}%), mean branch bits {:.2}",
         sub_byte as f64 / total as f64 * 100.0,

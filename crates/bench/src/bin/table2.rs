@@ -22,7 +22,7 @@ use quantmcu_bench::{calibration, evaluation, exec_dataset, exec_graph, header, 
 const WIDTHS: [usize; 6] = [14, 9, 7, 12, 12, 10];
 
 fn main() {
-    let graph = exec_graph(Model::MobileNetV2);
+    let graph = std::sync::Arc::new(exec_graph(Model::MobileNetV2));
     let ds = exec_dataset();
     let calib = calibration(&ds);
     let eval = evaluation(&ds);
@@ -63,7 +63,7 @@ fn main() {
     let plan = quantmcu::Planner::new(quantmcu::QuantMcuConfig::paper())
         .plan(&graph, &calib, quantmcu_bench::EXEC_SRAM)
         .expect("plan");
-    let q_time = plan.search_time;
+    let q_time = plan.search_time();
     let q_bitops = plan.bitops();
     let q_mem = plan.peak_memory_bytes().expect("plan memory");
     let fidelity = quantmcu_bench::deployment_fidelity(&graph, plan, &eval).expect("deployment");

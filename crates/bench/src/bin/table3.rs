@@ -16,7 +16,7 @@ use quantmcu_bench::{calibration, evaluation, exec_dataset, exec_graph, header, 
 const WIDTHS: [usize; 4] = [8, 10, 12, 10];
 
 fn main() {
-    let graph = exec_graph(Model::MobileNetV2);
+    let graph = std::sync::Arc::new(exec_graph(Model::MobileNetV2));
     let ds = exec_dataset();
     let calib = calibration(&ds);
     let eval = evaluation(&ds);
@@ -31,8 +31,8 @@ fn main() {
         let plan = Planner::new(cfg).plan(&graph, &calib, quantmcu_bench::EXEC_SRAM).expect("plan");
         let bitops = plan.bitops();
         let mean_bits = plan.mean_branch_bits();
-        let mut deployment = Deployment::new(&graph, plan).expect("deploy");
-        let quant = deployment.run_batch(&eval).expect("run");
+        let deployment = Deployment::new(std::sync::Arc::clone(&graph), plan).expect("deploy");
+        let quant = deployment.session().run_batch(&eval).expect("run");
         let fidelity = agreement_top1(&float, &quant);
         let top1 =
             ProjectedAccuracy::new(PaperAnchors::imagenet_top1(Model::MobileNetV2), fidelity);

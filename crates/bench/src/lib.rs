@@ -12,7 +12,7 @@ use quantmcu::models::{Model, ModelConfig};
 use quantmcu::nn::exec::FloatExecutor;
 use quantmcu::nn::{init, Graph};
 use quantmcu::tensor::Tensor;
-use quantmcu::{Deployment, DeploymentPlan, PlanError};
+use quantmcu::{Deployment, DeploymentPlan, Error};
 
 /// The seed every experiment derives its weights and data from, so tables
 /// are reproducible run to run.
@@ -78,14 +78,17 @@ pub fn evaluation(ds: &ClassificationDataset) -> Vec<Tensor> {
 ///
 /// Propagates deployment execution errors.
 pub fn deployment_fidelity(
-    graph: &Graph,
+    graph: &std::sync::Arc<Graph>,
     plan: DeploymentPlan,
     inputs: &[Tensor],
-) -> Result<f64, PlanError> {
-    let mut deployment = Deployment::new(graph, plan)?;
-    let quant = deployment.run_batch(inputs)?;
+) -> Result<f64, Error> {
+    let deployment = Deployment::new(std::sync::Arc::clone(graph), plan)?;
+    let quant = deployment.session().run_batch(inputs)?;
     let mut float_exec = FloatExecutor::new(graph);
-    let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t)).collect::<Result<_, _>>()?;
+    let float: Vec<Tensor> = inputs
+        .iter()
+        .map(|t| float_exec.run(t))
+        .collect::<Result<_, quantmcu::nn::GraphError>>()?;
     Ok(agreement_top1(&float, &quant))
 }
 

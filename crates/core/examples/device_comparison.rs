@@ -12,7 +12,7 @@ use quantmcu::nn::cost::{self, BitwidthAssignment};
 use quantmcu::nn::init;
 use quantmcu::patch::baselines::mcunetv2;
 use quantmcu::tensor::Bitwidth;
-use quantmcu::{Planner, QuantMcuConfig};
+use quantmcu::{Engine, SramBudget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for device in Device::table1_platforms() {
@@ -53,10 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sched.cost.peak_memory_bytes as f64 / 1024.0
         );
 
-        // QuantMCU on the same budget.
+        // QuantMCU on the same budget, through the serving engine with
+        // the device's SRAM as its typed budget.
         let graph = init::with_structured_weights(spec, 1);
-        let calib = ClassificationDataset::new(cfg.resolution, 10, 1).images(2);
-        let plan = Planner::new(QuantMcuConfig::paper()).plan(&graph, &calib, device.sram_bytes)?;
+        let engine = Engine::builder(graph).sram_budget(SramBudget::of_device(&device)).build();
+        let calib = ClassificationDataset::new(cfg.resolution, 10, 1);
+        let plan = engine.plan((calib, 2))?;
         println!(
             "QuantMCU: peak {:.1} KB, BitOPs {:.1} M, latency {:.0} ms (layer-based {:.0} ms)",
             plan.peak_memory_bytes()? as f64 / 1024.0,

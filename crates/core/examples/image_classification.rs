@@ -12,7 +12,7 @@ use quantmcu::models::{Model, ModelConfig};
 use quantmcu::nn::exec::FloatExecutor;
 use quantmcu::nn::init;
 use quantmcu::tensor::{Bitwidth, Tensor};
-use quantmcu::{Deployment, Planner, QuantMcuConfig};
+use quantmcu::{Engine, SramBudget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
@@ -32,27 +32,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         top_k_accuracy(&float_out, &labels, 1) * 100.0
     );
 
-    let planner = Planner::new(QuantMcuConfig::paper());
+    let engine = Engine::builder(graph).sram_budget(SramBudget::kib(16)).build();
 
     // MCUNetV2-style uniform 8-bit patch deployment.
-    let plan8 = planner.plan_uniform(&graph, &calibration, Bitwidth::W8, 16 * 1024)?;
-    let mut dep8 = Deployment::new(&graph, plan8)?;
-    let out8 = dep8.run_batch(&images)?;
+    let plan8 = engine.plan_uniform(&calibration, Bitwidth::W8)?;
+    let dep8 = engine.deploy(plan8)?;
+    let out8 = dep8.session().run_batch(&images)?;
     println!(
         "8-bit patches: agreement with float = {:.1}%",
         agreement_top1(&float_out, &out8) * 100.0
     );
 
     // QuantMCU mixed precision.
-    let plan = planner.plan(&graph, &calibration, 16 * 1024)?;
+    let plan = engine.plan(&calibration)?;
     println!(
         "QuantMCU:      mean branch bits {:.2}, BitOPs {:.1} M vs {:.1} M at 8-bit",
         plan.mean_branch_bits(),
         plan.bitops() as f64 / 1e6,
         plan.baseline_patch_bitops() as f64 / 1e6
     );
-    let mut dep = Deployment::new(&graph, plan)?;
-    let out = dep.run_batch(&images)?;
+    let dep = engine.deploy(plan)?;
+    let out = dep.session().run_batch(&images)?;
     println!(
         "QuantMCU:      agreement with float = {:.1}%",
         agreement_top1(&float_out, &out) * 100.0

@@ -1,25 +1,27 @@
-//! Quickstart: plan and run a QuantMCU deployment in ~30 lines.
+//! Quickstart: plan, deploy and serve a QuantMCU deployment in ~30 lines.
 //!
 //! ```text
-//! cargo run --release -p quantmcu-examples --bin quickstart
+//! cargo run --release -p quantmcu --example quickstart
 //! ```
 
 use quantmcu::data::classification::ClassificationDataset;
 use quantmcu::models::{Model, ModelConfig};
 use quantmcu::nn::init;
-use quantmcu::{Deployment, Planner, QuantMcuConfig};
+use quantmcu::{Engine, SramBudget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A network (MobileNetV2 at laptop-runnable scale) with weights.
+    // 1. A network (MobileNetV2 at laptop-runnable scale) with weights,
+    //    owned by the serving engine behind an Arc.
     let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
     let graph = init::with_structured_weights(spec, 42);
+    let engine = Engine::builder(graph).sram_budget(SramBudget::kib(16)).build();
 
-    // 2. A calibration set (synthetic ImageNet proxy).
+    // 2. A calibration source (synthetic ImageNet proxy, 8 images).
     let dataset = ClassificationDataset::new(32, 10, 7);
-    let calibration = dataset.images(8);
+    let calibration = (dataset, 8);
 
     // 3. Plan: patch split → VDPC → per-branch VDQS, against 16 KB SRAM.
-    let plan = Planner::new(QuantMcuConfig::paper()).plan(&graph, &calibration, 16 * 1024)?;
+    let plan = engine.plan(calibration)?;
     println!(
         "plan: {} branches, {} outlier-class, mean branch bits {:.2}",
         plan.patch_plan().branch_count(),
@@ -33,10 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.peak_memory_bytes()? as f64 / 1024.0
     );
 
-    // 4. Run the quantized deployment on a fresh image.
+    // 4. Deploy once (immutable, Send + Sync), serve through a session.
+    let deployment = engine.deploy(plan)?;
+    let mut session = deployment.session();
     let (image, label) = dataset.sample(100);
-    let mut deployment = Deployment::new(&graph, plan)?;
-    let output = deployment.run(&image)?;
+    let output = session.run(&image)?;
     println!("label {label}, predicted class {:?}", output.argmax(0));
     Ok(())
 }

@@ -1,0 +1,161 @@
+//! Calibration inputs for the planner, abstracted behind
+//! [`CalibrationSource`].
+//!
+//! [`crate::Engine::plan`] accepts anything that can produce calibration
+//! images — a borrowed slice, an owned `Vec`, a lazy iterator wrapped in
+//! [`CalibrationStream`], or a
+//! [`ClassificationDataset`](quantmcu_data::classification::ClassificationDataset)
+//! directly — instead of demanding a pre-materialized `&[Tensor]`.
+//! Borrowed sources pass through zero-copy; owned and lazy sources hand
+//! their buffer over once. The images must be held for the whole
+//! planning pass (VDPC classifies per-tile crops of every image *after*
+//! the streaming calibration prologue has run), but the per-feature-map
+//! value samples — the part that actually dominates planning memory —
+//! are still streamed incrementally by the prologue and never
+//! materialized as full traces.
+
+use std::borrow::Cow;
+
+use quantmcu_data::classification::ClassificationDataset;
+use quantmcu_tensor::Tensor;
+
+/// A supplier of calibration images for [`crate::Engine::plan`].
+///
+/// Implementations exist for the common shapes calibration data arrives
+/// in:
+///
+/// * `&[Tensor]` / `&Vec<Tensor>` — borrow an existing batch
+///   (zero-copy: the planner reads the slice in place);
+/// * `Vec<Tensor>` — hand the batch over without cloning;
+/// * [`CalibrationStream`] — adapt any `IntoIterator<Item = Tensor>`,
+///   so images can be generated or decoded lazily;
+/// * [`ClassificationDataset`] — the synthetic ImageNet proxy; yields the
+///   dataset's conventional [`DEFAULT_CALIBRATION_IMAGES`]-image prefix,
+///   or a chosen count via the `(dataset, count)` pair impl.
+///
+/// The lifetime parameter ties borrowed sources to their backing batch;
+/// owned and lazy sources implement the trait for every lifetime.
+pub trait CalibrationSource<'a> {
+    /// The source's calibration images, in order — borrowed when the
+    /// source already holds a materialized batch, owned otherwise.
+    fn into_images(self) -> Cow<'a, [Tensor]>;
+}
+
+/// Calibration images drawn from a [`ClassificationDataset`] when no
+/// explicit count is given (the convention the paper-reproduction
+/// harness uses).
+pub const DEFAULT_CALIBRATION_IMAGES: usize = 8;
+
+impl<'a> CalibrationSource<'a> for Vec<Tensor> {
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Owned(self)
+    }
+}
+
+impl<'a> CalibrationSource<'a> for &'a [Tensor] {
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Borrowed(self)
+    }
+}
+
+impl<'a> CalibrationSource<'a> for &'a Vec<Tensor> {
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Borrowed(self.as_slice())
+    }
+}
+
+impl<'a> CalibrationSource<'a> for ClassificationDataset {
+    /// The dataset's first [`DEFAULT_CALIBRATION_IMAGES`] samples; use
+    /// `(dataset, n)` for an explicit count.
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Owned(self.images(DEFAULT_CALIBRATION_IMAGES))
+    }
+}
+
+impl<'a> CalibrationSource<'a> for (ClassificationDataset, usize) {
+    /// The dataset's first `self.1` samples.
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Owned(self.0.images(self.1))
+    }
+}
+
+/// Adapts any tensor iterator into a [`CalibrationSource`], so
+/// calibration images can be produced lazily (decoded, augmented,
+/// generated) and pulled straight into the planner without the caller
+/// ever building the slice.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::CalibrationStream;
+/// use quantmcu::data::classification::ClassificationDataset;
+///
+/// let ds = ClassificationDataset::new(16, 4, 7);
+/// // Every *other* sample, generated on demand:
+/// let stream = CalibrationStream::new((0..8).map(move |i| ds.sample(2 * i).0));
+/// # let _ = stream;
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibrationStream<I> {
+    iter: I,
+}
+
+impl<I: IntoIterator<Item = Tensor>> CalibrationStream<I> {
+    /// Wraps `iter` as a calibration source.
+    pub fn new(iter: I) -> Self {
+        CalibrationStream { iter }
+    }
+}
+
+impl<'a, I: IntoIterator<Item = Tensor>> CalibrationSource<'a> for CalibrationStream<I> {
+    fn into_images(self) -> Cow<'a, [Tensor]> {
+        Cow::Owned(self.iter.into_iter().collect())
+    }
+}
+
+impl<I: IntoIterator<Item = Tensor>> From<I> for CalibrationStream<I> {
+    fn from(iter: I) -> Self {
+        CalibrationStream::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_tensor::Shape;
+
+    fn images(n: usize) -> Vec<Tensor> {
+        (0..n).map(|i| Tensor::full(Shape::hwc(2, 2, 1), i as f32)).collect()
+    }
+
+    #[test]
+    fn slice_vec_and_stream_sources_agree() {
+        let v = images(3);
+        assert_eq!((&v[..]).into_images(), v);
+        assert_eq!((&v).into_images(), v);
+        assert_eq!(CalibrationStream::new(v.clone()).into_images(), v);
+        assert_eq!(v.clone().into_images(), v);
+    }
+
+    #[test]
+    fn borrowed_sources_are_zero_copy() {
+        let v = images(3);
+        assert!(matches!((&v[..]).into_images(), Cow::Borrowed(_)));
+        assert!(matches!((&v).into_images(), Cow::Borrowed(_)));
+        assert!(matches!(v.into_images(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn dataset_sources_yield_prefixes() {
+        let ds = ClassificationDataset::new(8, 3, 5);
+        assert_eq!(ds.into_images(), ds.images(DEFAULT_CALIBRATION_IMAGES));
+        assert_eq!((ds, 3).into_images(), ds.images(3));
+    }
+
+    #[test]
+    fn streams_preserve_lazy_order() {
+        let ds = ClassificationDataset::new(8, 3, 5);
+        let lazy = CalibrationStream::new((0..4).map(move |i| ds.sample(i).0));
+        assert_eq!(lazy.into_images(), ds.images(4));
+    }
+}

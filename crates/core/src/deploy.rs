@@ -1,45 +1,80 @@
-use quantmcu_nn::exec::{CompiledGraph, ExecState};
+//! The executable serving artifact: immutable [`Deployment`] plus
+//! per-thread [`Session`]s.
+
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+use quantmcu_nn::exec::{batch, CompiledGraph, ExecState};
 use quantmcu_nn::{Graph, GraphError};
-use quantmcu_patch::{PatchExecutor, PatchOutput};
+use quantmcu_patch::{PatchExecutor, PatchOutput, PatchState};
 use quantmcu_tensor::{QuantParams, Tensor};
 
-use crate::error::PlanError;
+use crate::error::Error;
 use crate::plan::DeploymentPlan;
 
 /// An executable QuantMCU deployment: quantized patch branches plus a
-/// quantized tail, runnable on host for fidelity measurements.
+/// quantized tail, runnable on host for fidelity measurements — and the
+/// **immutable** serving artifact one process shares across threads.
 ///
 /// The branch stage runs through the region-restricted patch executor with
 /// per-branch fake quantization; the tail runs through the integer
 /// executor. Both paths mirror what the MCU kernels compute (see the
 /// `quantmcu_nn::exec` docs for the validation of that equivalence).
 ///
-/// The tail is quantization-compiled **once** at construction (weights
-/// regrouped and quantized, requantization tables built) and reused for
-/// every inference; the patch stage writes into a persistent scratch
-/// [`PatchOutput`], so per-inference heap traffic is limited to the
-/// returned output tensors.
+/// A deployment owns its graph behind an `Arc` (no lifetime parameter),
+/// is `Send + Sync`, and holds **only** compiled state: the patch
+/// executor with its float tail, the integer tail (weights regrouped and
+/// quantized, requantization tables built — all once, at construction)
+/// and the per-branch quantization grids. Everything mutable lives in a
+/// [`Session`]; put the deployment in an `Arc` and open one session per
+/// thread:
+///
+/// ```
+/// use std::sync::Arc;
+/// use quantmcu::{Engine, Session, SramBudget};
+/// use quantmcu::data::classification::ClassificationDataset;
+/// use quantmcu::models::{Model, ModelConfig};
+/// use quantmcu::nn::init;
+///
+/// let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+/// let engine = Engine::builder(init::with_structured_weights(spec, 42))
+///     .sram_budget(SramBudget::kib(16))
+///     .build();
+/// let data = ClassificationDataset::new(32, 10, 7);
+/// let deployment = Arc::new(engine.deploy(engine.plan((data, 4))?)?);
+/// let image = data.sample(100).0;
+/// let handles: Vec<_> = (0..2)
+///     .map(|_| {
+///         let dep = Arc::clone(&deployment);
+///         let image = image.clone();
+///         std::thread::spawn(move || Session::new(dep).run(&image).unwrap())
+///     })
+///     .collect();
+/// for h in handles {
+///     assert!(h.join().unwrap().data().iter().all(|v| v.is_finite()));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
-pub struct Deployment<'g> {
-    executor: PatchExecutor<'g>,
+pub struct Deployment {
+    executor: PatchExecutor<Arc<Graph>>,
     branch_params: Vec<Vec<QuantParams>>,
     /// The tail, compiled with the plan's tail quantization.
     tail: CompiledGraph,
-    tail_state: ExecState,
-    /// Reused patch-stage output buffers.
-    scratch: PatchOutput,
     plan: DeploymentPlan,
 }
 
-impl<'g> Deployment<'g> {
-    /// Prepares the runtime for a plan.
+impl Deployment {
+    /// Compiles a plan into a runnable deployment over `graph` (owned or
+    /// already shared — anything convertible into an `Arc<Graph>`).
     ///
     /// # Errors
     ///
-    /// Returns [`PlanError`] when the plan's quantization metadata cannot
-    /// be materialized (degenerate calibration ranges).
-    pub fn new(graph: &'g Graph, plan: DeploymentPlan) -> Result<Self, PlanError> {
-        let executor = PatchExecutor::new(graph, plan.patch_plan().clone())?;
+    /// Returns [`Error::Plan`] when the plan's quantization metadata
+    /// cannot be materialized (degenerate calibration ranges), or
+    /// [`Error::Patch`] when the plan's split does not fit the graph.
+    pub fn new(graph: impl Into<Arc<Graph>>, plan: DeploymentPlan) -> Result<Self, Error> {
+        let graph: Arc<Graph> = graph.into();
         let mut branch_params = Vec::with_capacity(plan.branch_bits.len());
         for (ranges, bits) in plan.branch_ranges.iter().zip(&plan.branch_bits) {
             let params = ranges
@@ -52,7 +87,7 @@ impl<'g> Deployment<'g> {
         }
         let split = plan.patch_plan().split_at();
         let spec = graph.spec();
-        let (_, tail_spec) = spec.split_at(split)?;
+        let (_, tail_spec) = spec.split_at(split).map_err(quantmcu_patch::PatchError::from)?;
         let tail_params = (split..spec.len()).map(|i| graph.params(i).clone()).collect();
         let tail = CompiledGraph::with_quantization(
             Graph::new(tail_spec, tail_params),
@@ -60,9 +95,11 @@ impl<'g> Deployment<'g> {
             &plan.tail_bits,
             plan.weight_bits,
         )?;
-        let tail_state = ExecState::for_graph(&tail);
-        let scratch = executor.make_output();
-        Ok(Deployment { executor, branch_params, tail, tail_state, scratch, plan })
+        // Stage-only: the serving path runs the integer tail compiled
+        // above, so the executor's float tail (a second copy of the tail
+        // weights) is never built.
+        let executor = PatchExecutor::stage_only(Arc::clone(&graph), plan.patch_plan().clone())?;
+        Ok(Deployment { executor, branch_params, tail, plan })
     }
 
     /// The plan being executed.
@@ -70,25 +107,97 @@ impl<'g> Deployment<'g> {
         &self.plan
     }
 
-    /// Runs one input through the quantized deployment, returning the final
-    /// output (dequantized).
+    /// The served network.
+    pub fn graph(&self) -> &Arc<Graph> {
+        self.executor.graph_handle()
+    }
+
+    /// Opens a session borrowing this deployment — the single-threaded
+    /// convenience. For detached threads, wrap the deployment in an `Arc`
+    /// and use [`Session::new`].
+    pub fn session(&self) -> Session<&Deployment> {
+        Session::new(self)
+    }
+
+    /// Serves a batch over `workers` threads, each with its own
+    /// [`Session`] against this shared deployment, returning outputs in
+    /// input order. Results are **bit-identical for every worker count**;
+    /// `workers = 1` is exactly the serial session loop.
     ///
     /// # Errors
     ///
-    /// Returns [`PlanError`] for input-shape mismatches.
-    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, PlanError> {
-        self.executor.run_stage_into(input, Some(&self.branch_params), &mut self.scratch)?;
-        Ok(self.tail.run_quant(&mut self.tail_state, &self.scratch.stage_output)?)
+    /// Returns the first failing input's error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated).
+    pub fn run_batch(&self, inputs: &[Tensor], workers: usize) -> Result<Vec<Tensor>, Error> {
+        batch::par_map_states(inputs, workers, || self.session(), Session::run)
+    }
+}
+
+/// The mutable, per-thread half of serving: one in-flight inference's
+/// scratch (patch arenas, tail [`ExecState`], the reused stage
+/// [`PatchOutput`]) over a shared [`Deployment`].
+///
+/// Generic over how the deployment is held — `Session<&Deployment>`
+/// (from [`Deployment::session`]) borrows for scoped use,
+/// `Session<Arc<Deployment>>` (the default parameter) owns a handle and
+/// can move onto a detached thread. Construction allocates only the
+/// reused stage-output buffers; the arenas warm up over the first
+/// inference, after which steady-state runs reuse every buffer — so keep
+/// sessions alive across requests rather than opening one per request.
+#[derive(Debug)]
+pub struct Session<D: Borrow<Deployment> = Arc<Deployment>> {
+    deployment: D,
+    patch_state: PatchState,
+    tail_state: ExecState,
+    /// Reused patch-stage output buffers.
+    scratch: PatchOutput,
+}
+
+impl<D: Borrow<Deployment>> Session<D> {
+    /// Opens a session over `deployment`.
+    pub fn new(deployment: D) -> Self {
+        let scratch = deployment.borrow().executor.make_output();
+        Session {
+            deployment,
+            patch_state: PatchState::new(),
+            tail_state: ExecState::new(),
+            scratch,
+        }
     }
 
-    /// Runs a batch, returning one output per input. The tail's compiled
-    /// integer executor (weight quantization included) is shared by every
-    /// inference.
+    /// The deployment this session serves.
+    pub fn deployment(&self) -> &Deployment {
+        self.deployment.borrow()
+    }
+
+    /// Runs one input through the quantized deployment, returning the
+    /// final output (dequantized). After the first call, steady-state
+    /// heap traffic is limited to the returned output tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Patch`] for input-shape mismatches.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, Error> {
+        let d: &Deployment = self.deployment.borrow();
+        d.executor.run_stage_into(
+            &mut self.patch_state,
+            input,
+            Some(&d.branch_params),
+            &mut self.scratch,
+        )?;
+        Ok(d.tail.run_quant(&mut self.tail_state, &self.scratch.stage_output)?)
+    }
+
+    /// Runs a batch serially on this session, returning one output per
+    /// input. For multi-threaded serving use [`Deployment::run_batch`].
     ///
     /// # Errors
     ///
     /// Returns the first input's error, if any.
-    pub fn run_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, PlanError> {
+    pub fn run_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>, Error> {
         inputs.iter().map(|input| self.run(input)).collect()
     }
 }
@@ -96,7 +205,7 @@ impl<'g> Deployment<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Planner, QuantMcuConfig};
+    use crate::{Engine, Planner, QuantMcuConfig, SramBudget};
     use quantmcu_nn::exec::FloatExecutor;
     use quantmcu_nn::{init, GraphSpecBuilder};
     use quantmcu_tensor::Shape;
@@ -123,13 +232,20 @@ mod tests {
     }
 
     #[test]
+    fn deployment_is_send_sync_and_lifetime_free() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Deployment>();
+        assert_send_sync::<Session<Arc<Deployment>>>();
+    }
+
+    #[test]
     fn deployment_runs_and_tracks_float() {
         let g = graph();
         let calib = inputs(4);
         let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib, 256 * 1024).unwrap();
-        let mut dep = Deployment::new(&g, plan).unwrap();
+        let dep = Deployment::new(g.clone(), plan).unwrap();
         let test = inputs(8);
-        let quant_outs = dep.run_batch(&test).unwrap();
+        let quant_outs = dep.session().run_batch(&test).unwrap();
         let mut float_exec = FloatExecutor::new(&g);
         let mut agree = 0;
         for (input, q) in test.iter().zip(&quant_outs) {
@@ -145,6 +261,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batches_are_bit_identical_to_serial() {
+        let g = graph();
+        let engine = Engine::builder(g).sram_budget(SramBudget::kib(256)).build();
+        let dep = engine.deploy(engine.plan(inputs(4)).unwrap()).unwrap();
+        let test = inputs(9);
+        let serial = dep.session().run_batch(&test).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let parallel = dep.run_batch(&test, workers).unwrap();
+            assert_eq!(serial, parallel, "worker count {workers} changed outputs");
+        }
+    }
+
+    #[test]
+    fn sessions_over_one_deployment_agree() {
+        let g = graph();
+        let engine = Engine::builder(g).sram_budget(SramBudget::kib(256)).build();
+        let dep = Arc::new(engine.deploy(engine.plan(inputs(4)).unwrap()).unwrap());
+        let test = inputs(3);
+        let a = Session::new(Arc::clone(&dep)).run_batch(&test).unwrap();
+        let b = dep.session().run_batch(&test).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn vdpc_plan_is_at_least_as_faithful_as_no_vdpc() {
         let g = graph();
         let calib = inputs(4);
@@ -152,9 +292,12 @@ mod tests {
         let mut float_exec = FloatExecutor::new(&g);
         let mut fidelity = |cfg: QuantMcuConfig| -> usize {
             let plan = Planner::new(cfg).plan(&g, &calib, 256 * 1024).unwrap();
-            let mut dep = Deployment::new(&g, plan).unwrap();
+            let dep = Deployment::new(g.clone(), plan).unwrap();
+            let mut session = dep.session();
             test.iter()
-                .filter(|t| dep.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0))
+                .filter(|t| {
+                    session.run(t).unwrap().argmax(0) == float_exec.run(t).unwrap().argmax(0)
+                })
                 .count()
         };
         let with_vdpc = fidelity(QuantMcuConfig::paper());

@@ -1,0 +1,348 @@
+//! The owned serving entry point: [`Engine`] plans and deploys over an
+//! [`Arc<Graph>`], replacing the borrow-everything
+//! `Planner::new(cfg).plan(graph, &images, bytes)` call shape for
+//! serving-style callers (the [`crate::Planner`] façade remains for the
+//! paper-reproduction binaries).
+
+use std::sync::Arc;
+
+use quantmcu_mcusim::Device;
+use quantmcu_nn::Graph;
+use quantmcu_tensor::Bitwidth;
+
+use crate::calibration::CalibrationSource;
+use crate::config::QuantMcuConfig;
+use crate::deploy::Deployment;
+use crate::error::Error;
+use crate::pipeline::Planner;
+use crate::plan::DeploymentPlan;
+
+/// A typed SRAM budget (Eq. 7's `M`), replacing the bare `usize` byte
+/// count the planner used to take — so a call site reads
+/// `SramBudget::kib(256)` instead of a unit-ambiguous literal.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::SramBudget;
+/// use quantmcu::mcusim::Device;
+///
+/// assert_eq!(SramBudget::kib(256).bytes(), 256 * 1024);
+/// assert_eq!(SramBudget::from(4096).bytes(), 4096);
+/// let dev = Device::nano33_ble_sense();
+/// assert_eq!(SramBudget::of_device(&dev).bytes(), dev.sram_bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SramBudget(usize);
+
+impl SramBudget {
+    /// A budget of `n` bytes.
+    #[must_use]
+    pub const fn new(n: usize) -> Self {
+        SramBudget(n)
+    }
+
+    /// A budget of `n` KiB.
+    #[must_use]
+    pub const fn kib(n: usize) -> Self {
+        SramBudget(n * 1024)
+    }
+
+    /// A budget of `n` MiB.
+    #[must_use]
+    pub const fn mib(n: usize) -> Self {
+        SramBudget(n * 1024 * 1024)
+    }
+
+    /// The full SRAM of a modeled device.
+    #[must_use]
+    pub fn of_device(device: &Device) -> Self {
+        SramBudget(device.sram_bytes)
+    }
+
+    /// The budget in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for SramBudget {
+    fn from(bytes: usize) -> Self {
+        SramBudget(bytes)
+    }
+}
+
+impl std::fmt::Display for SramBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} KiB", self.0 as f64 / 1024.0)
+    }
+}
+
+/// The serving entry point: one engine owns the network
+/// (`Arc<Graph>`), the QuantMCU configuration and the SRAM budget, and
+/// turns calibration data into [`DeploymentPlan`]s and owned, shareable
+/// [`Deployment`]s.
+///
+/// An engine is `Send + Sync` and cheap to clone (the graph is behind an
+/// `Arc`); deployments it produces share the same graph, so a server can
+/// keep one engine alive, re-plan as calibration data drifts, and swap
+/// `Arc<Deployment>`s under its serving threads without ever copying
+/// weights.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::{Engine, SramBudget};
+/// use quantmcu::data::classification::ClassificationDataset;
+/// use quantmcu::models::{Model, ModelConfig};
+/// use quantmcu::nn::init;
+///
+/// let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+/// let graph = init::with_structured_weights(spec, 42);
+/// let engine = Engine::builder(graph).sram_budget(SramBudget::kib(16)).build();
+/// let data = ClassificationDataset::new(32, 10, 7);
+/// let plan = engine.plan((data, 4))?;
+/// let deployment = engine.deploy(plan)?;
+/// let out = deployment.session().run(&data.sample(100).0)?;
+/// assert!(out.data().iter().all(|v| v.is_finite()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    graph: Arc<Graph>,
+    cfg: QuantMcuConfig,
+    budget: SramBudget,
+}
+
+/// Fluent construction for [`Engine`] (see [`Engine::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    graph: Arc<Graph>,
+    cfg: QuantMcuConfig,
+    budget: SramBudget,
+}
+
+impl Engine {
+    /// The default SRAM budget when none is configured: 256 KiB, the
+    /// paper's Nano 33 BLE Sense class.
+    pub const DEFAULT_SRAM_BUDGET: SramBudget = SramBudget::kib(256);
+
+    /// Starts building an engine over `graph` (owned or already shared —
+    /// anything convertible into an `Arc<Graph>`).
+    pub fn builder(graph: impl Into<Arc<Graph>>) -> EngineBuilder {
+        EngineBuilder {
+            graph: graph.into(),
+            cfg: QuantMcuConfig::default(),
+            budget: Engine::DEFAULT_SRAM_BUDGET,
+        }
+    }
+
+    /// An engine over `graph` with the paper configuration and the
+    /// default budget — shorthand for `Engine::builder(graph).build()`.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        Engine::builder(graph).build()
+    }
+
+    /// The served network.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &QuantMcuConfig {
+        &self.cfg
+    }
+
+    /// The SRAM budget plans are searched against.
+    pub fn sram_budget(&self) -> SramBudget {
+        self.budget
+    }
+
+    /// Runs the full QuantMCU pipeline — calibrate → patch split → VDPC →
+    /// per-branch VDQS → tail VDQS — against the engine's budget.
+    ///
+    /// `calibration` is any [`CalibrationSource`]: a `&[Tensor]`, an owned
+    /// `Vec<Tensor>`, a [`crate::CalibrationStream`] over a lazy iterator,
+    /// or a classification dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Plan`] for an empty calibration set, an
+    /// unsplittable graph, or an infeasible budget (Eq. 7 unsatisfiable
+    /// even at the narrowest candidates).
+    pub fn plan<'a>(
+        &self,
+        calibration: impl CalibrationSource<'a>,
+    ) -> Result<DeploymentPlan, Error> {
+        let images = calibration.into_images();
+        Ok(Planner::new(self.cfg.clone()).plan(&self.graph, &images, self.budget.bytes())?)
+    }
+
+    /// Builds a *uniform* plan at `bits` over the same patch schedule —
+    /// the MCUNetV2-style baseline, runnable through the same
+    /// [`Deployment`] machinery.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::plan`], minus the search errors.
+    pub fn plan_uniform<'a>(
+        &self,
+        calibration: impl CalibrationSource<'a>,
+        bits: Bitwidth,
+    ) -> Result<DeploymentPlan, Error> {
+        let images = calibration.into_images();
+        Ok(Planner::new(self.cfg.clone()).plan_uniform(
+            &self.graph,
+            &images,
+            bits,
+            self.budget.bytes(),
+        )?)
+    }
+
+    /// Compiles `plan` into an owned, `Send + Sync` [`Deployment`]
+    /// sharing the engine's graph. Wrap it in an `Arc` and open one
+    /// [`crate::Session`] per serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Plan`] when the plan's quantization metadata
+    /// cannot be materialized (degenerate calibration ranges), or
+    /// [`Error::Patch`] when the plan does not fit the graph.
+    pub fn deploy(&self, plan: DeploymentPlan) -> Result<Deployment, Error> {
+        Deployment::new(Arc::clone(&self.graph), plan)
+    }
+}
+
+impl EngineBuilder {
+    /// Replaces the whole configuration at once.
+    #[must_use]
+    pub fn config(mut self, cfg: QuantMcuConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the SRAM budget (Eq. 7's `M`).
+    #[must_use]
+    pub fn sram_budget(mut self, budget: impl Into<SramBudget>) -> Self {
+        self.budget = budget.into();
+        self
+    }
+
+    /// Sets the worker-thread count for **planning** (the calibration
+    /// prologue, activation ranging and entropy tables). Serving
+    /// parallelism is chosen per call via
+    /// [`Deployment::run_batch`](crate::Deployment::run_batch)'s
+    /// `workers` argument — a deployment has no baked-in thread count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Sets the patch grid side (`grid` × `grid` patches).
+    #[must_use]
+    pub fn grid(mut self, grid: usize) -> Self {
+        self.cfg.grid = grid;
+        self
+    }
+
+    /// Sets the deployed weight bitwidth.
+    #[must_use]
+    pub fn weight_bits(mut self, bits: Bitwidth) -> Self {
+        self.cfg.weight_bits = bits;
+        self
+    }
+
+    /// Enables or disables VDPC (the Fig. 4 ablation toggle).
+    #[must_use]
+    pub fn vdpc(mut self, enabled: bool) -> Self {
+        self.cfg.enable_vdpc = enabled;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> Engine {
+        Engine { graph: self.graph, cfg: self.cfg, budget: self.budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::{Shape, Tensor};
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .pwconv(12)
+            .relu6()
+            .conv2d(16, 3, 2, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(6)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 31)
+    }
+
+    fn calib(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|s| Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i + 97 * s) as f32 * 0.19).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn builder_defaults_match_planner_paper_config() {
+        let e = Engine::new(graph());
+        assert_eq!(*e.config(), QuantMcuConfig::paper());
+        assert_eq!(e.sram_budget(), Engine::DEFAULT_SRAM_BUDGET);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let e = Engine::builder(graph())
+            .sram_budget(SramBudget::kib(16))
+            .workers(1)
+            .grid(2)
+            .weight_bits(Bitwidth::W4)
+            .vdpc(false)
+            .build();
+        assert_eq!(e.sram_budget().bytes(), 16 * 1024);
+        assert_eq!(e.config().workers, 1);
+        assert_eq!(e.config().grid, 2);
+        assert_eq!(e.config().weight_bits, Bitwidth::W4);
+        assert!(!e.config().enable_vdpc);
+    }
+
+    #[test]
+    fn engine_plan_matches_planner_facade() {
+        let g = graph();
+        let engine = Engine::builder(g.clone()).sram_budget(SramBudget::kib(256)).build();
+        let via_engine = engine.plan(calib(4)).unwrap().timeless();
+        let via_planner = Planner::new(QuantMcuConfig::paper())
+            .plan(&g, &calib(4), 256 * 1024)
+            .unwrap()
+            .timeless();
+        assert_eq!(via_engine, via_planner);
+    }
+
+    #[test]
+    fn shared_graph_is_not_duplicated_across_deployments() {
+        let engine = Engine::builder(graph()).sram_budget(SramBudget::kib(256)).build();
+        let plan = engine.plan(calib(4)).unwrap();
+        let a = engine.deploy(plan.clone()).unwrap();
+        let b = engine.deploy(plan).unwrap();
+        assert!(Arc::ptr_eq(a.graph(), b.graph()));
+        assert!(Arc::ptr_eq(a.graph(), engine.graph()));
+    }
+}

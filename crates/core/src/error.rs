@@ -1,9 +1,93 @@
-use std::error::Error;
 use std::fmt;
 
 use quantmcu_nn::GraphError;
 use quantmcu_patch::PatchError;
 use quantmcu_quant::QuantError;
+
+/// The one error type the serving surface ([`crate::Engine`],
+/// [`crate::Session`], [`crate::Deployment`]) returns, so downstream `?`
+/// composes across planning, deployment and inference.
+///
+/// Each variant wraps the subsystem error it came from and exposes it
+/// through [`std::error::Error::source`], so error-reporting crates can
+/// walk the full chain down to the leaf (`GraphError`, `TensorError`,
+/// `QuantError`, …). The enum is `#[non_exhaustive]`: future subsystems
+/// can add variants without a breaking release, so downstream matches
+/// need a wildcard arm.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::{Engine, Error, PlanError};
+/// use quantmcu::nn::{init, GraphSpecBuilder};
+/// use quantmcu::tensor::Shape;
+///
+/// let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3)).conv2d(4, 3, 2, 1).build()?;
+/// let engine = Engine::builder(init::with_structured_weights(spec, 0)).build();
+/// let err = engine.plan(Vec::new()).unwrap_err();
+/// assert!(matches!(err, Error::Plan(PlanError::NoCalibration)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Planning failed: calibration, patch fit, or the VDPC/VDQS search.
+    Plan(PlanError),
+    /// Graph construction or (tail) execution failed.
+    Graph(GraphError),
+    /// The patch engine rejected a plan or an input.
+    Patch(PatchError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Plan(e) => write!(f, "planning failed: {e}"),
+            Error::Graph(e) => write!(f, "graph execution failed: {e}"),
+            Error::Patch(e) => write!(f, "patch execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Plan(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Patch(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<PatchError> for Error {
+    fn from(e: PatchError) -> Self {
+        Error::Patch(e)
+    }
+}
+
+impl From<QuantError> for Error {
+    fn from(e: QuantError) -> Self {
+        Error::Plan(PlanError::Quant(e))
+    }
+}
+
+impl From<quantmcu_tensor::TensorError> for Error {
+    fn from(e: quantmcu_tensor::TensorError) -> Self {
+        Error::Graph(GraphError::Tensor(e))
+    }
+}
 
 /// Errors produced while planning or running a QuantMCU deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +114,8 @@ impl fmt::Display for PlanError {
     }
 }
 
-impl Error for PlanError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::Patch(e) => Some(e),
             PlanError::Quant(e) => Some(e),
@@ -68,6 +152,7 @@ impl From<quantmcu_tensor::TensorError> for PlanError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn sources_chain() {
@@ -75,5 +160,23 @@ mod tests {
         assert!(e.source().is_some());
         assert!(e.to_string().contains("patch planning failed"));
         assert!(PlanError::NoCalibration.source().is_none());
+    }
+
+    #[test]
+    fn unified_error_chains_to_the_leaf() {
+        // Error -> PlanError -> PatchError: three Display levels, two
+        // source hops.
+        let e = Error::from(PlanError::from(PatchError::NotSplittable { at: 2 }));
+        assert!(e.to_string().contains("planning failed"));
+        let plan = e.source().expect("PlanError source");
+        assert!(plan.to_string().contains("patch planning failed"));
+        let patch = plan.source().expect("PatchError source");
+        assert!(patch.to_string().contains("not splittable") || !patch.to_string().is_empty());
+        // A PatchError from execution maps to its own variant, not Plan.
+        let e = Error::from(PatchError::BitwidthLength { expected: 4, actual: 1 });
+        assert!(matches!(e, Error::Patch(_)));
+        // Graph and tensor errors unify under Graph.
+        let e = Error::from(quantmcu_tensor::TensorError::ShapeMismatch { expected: 4, actual: 2 });
+        assert!(matches!(e, Error::Graph(GraphError::Tensor(_))));
     }
 }

@@ -18,35 +18,59 @@
 //!
 //! # Quickstart
 //!
+//! The front door is [`Engine`]: it owns the network behind an
+//! `Arc<Graph>`, plans against a typed [`SramBudget`], accepts any
+//! [`CalibrationSource`], and compiles plans into owned, `Send + Sync`
+//! [`Deployment`]s served through per-thread [`Session`]s:
+//!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use quantmcu::{Planner, QuantMcuConfig};
+//! use quantmcu::{Engine, SramBudget};
 //! use quantmcu::models::{Model, ModelConfig};
 //! use quantmcu::nn::init;
 //! use quantmcu::data::classification::ClassificationDataset;
 //!
 //! let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
 //! let graph = init::with_structured_weights(spec, 42);
+//! let engine = Engine::builder(graph).sram_budget(SramBudget::kib(256)).build();
+//!
 //! let data = ClassificationDataset::new(32, 10, 7);
-//! let plan = Planner::new(QuantMcuConfig::default())
-//!     .plan(&graph, &data.images(4), 256 * 1024)?;
+//! let plan = engine.plan((data, 4))?; // any CalibrationSource
 //! assert!(plan.bitops() < plan.baseline_patch_bitops());
+//!
+//! // Deploy once, serve from as many threads as you like: the
+//! // deployment is immutable; each thread opens its own Session.
+//! let deployment = std::sync::Arc::new(engine.deploy(plan)?);
+//! let mut session = deployment.session();
+//! let output = session.run(&data.sample(100).0)?;
+//! assert!(output.data().iter().all(|v| v.is_finite()));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The borrow-based [`Planner`] façade
+//! (`Planner::new(cfg).plan(&graph, &images, bytes)`) remains for the
+//! paper-reproduction binaries; it produces the same plans bit for bit.
+//! Every fallible call on the serving surface returns the single
+//! [`Error`] type, whose `#[non_exhaustive]` variants wrap the subsystem
+//! errors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calibration;
 mod config;
 mod deploy;
+mod engine;
 mod error;
 mod pipeline;
 mod plan;
 
+pub use calibration::{CalibrationSource, CalibrationStream, DEFAULT_CALIBRATION_IMAGES};
 pub use config::{default_workers, QuantMcuConfig};
-pub use deploy::Deployment;
-pub use error::PlanError;
+pub use deploy::{Deployment, Session};
+pub use engine::{Engine, EngineBuilder, SramBudget};
+pub use error::{Error, PlanError};
 pub use pipeline::Planner;
 pub use plan::DeploymentPlan;
 

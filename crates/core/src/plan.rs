@@ -9,50 +9,101 @@ use quantmcu_tensor::Bitwidth;
 
 /// The artifact QuantMCU produces: where to split, how each branch and the
 /// tail are quantized, and what that costs.
+///
+/// A plan is a sealed value: every field is reachable through a read
+/// accessor, and the only mutation the API offers is
+/// [`DeploymentPlan::timeless`] (strip the wall-clock measurement for
+/// bit-for-bit comparisons). The invariants the planner established —
+/// bitwidth vectors sized to the split, ranges matching the bitwidths,
+/// classes matching the branch count — therefore survive into
+/// [`crate::Deployment`] construction unchecked.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentPlan {
     pub(crate) spec: GraphSpec,
     pub(crate) patch_plan: PatchPlan,
     pub(crate) branches: Vec<Branch>,
-    /// VDPC verdict per patch (row-major).
-    pub patch_classes: Vec<PatchClass>,
-    /// Per-branch feature-map bitwidths (head length + 1 each).
-    pub branch_bits: Vec<Vec<Bitwidth>>,
-    /// Tail feature-map bitwidths (tail input first).
-    pub tail_bits: Vec<Bitwidth>,
-    /// Deployed weight bitwidth.
-    pub weight_bits: Bitwidth,
-    /// Calibrated `(min, max)` per branch feature map.
+    pub(crate) patch_classes: Vec<PatchClass>,
+    pub(crate) branch_bits: Vec<Vec<Bitwidth>>,
+    pub(crate) tail_bits: Vec<Bitwidth>,
+    pub(crate) weight_bits: Bitwidth,
     pub(crate) branch_ranges: Vec<Vec<(f32, f32)>>,
-    /// Calibrated `(min, max)` per tail feature map.
     pub(crate) tail_ranges: Vec<(f32, f32)>,
-    /// Wall-clock of the whole search (the Table II "Time" measurement).
-    pub search_time: Duration,
+    pub(crate) search_time: Duration,
 }
 
 impl DeploymentPlan {
     /// The underlying network spec.
+    #[must_use]
     pub fn spec(&self) -> &GraphSpec {
         &self.spec
     }
 
     /// The patch schedule.
+    #[must_use]
     pub fn patch_plan(&self) -> &PatchPlan {
         &self.patch_plan
     }
 
     /// The dataflow branches (row-major).
+    #[must_use]
     pub fn branches(&self) -> &[Branch] {
         &self.branches
     }
 
+    /// VDPC verdict per patch (row-major).
+    #[must_use]
+    pub fn patch_classes(&self) -> &[PatchClass] {
+        &self.patch_classes
+    }
+
+    /// Per-branch feature-map bitwidths (head length + 1 each).
+    #[must_use]
+    pub fn branch_bits(&self) -> &[Vec<Bitwidth>] {
+        &self.branch_bits
+    }
+
+    /// Tail feature-map bitwidths (tail input first).
+    #[must_use]
+    pub fn tail_bits(&self) -> &[Bitwidth] {
+        &self.tail_bits
+    }
+
+    /// Deployed weight bitwidth.
+    #[must_use]
+    pub fn weight_bits(&self) -> Bitwidth {
+        self.weight_bits
+    }
+
+    /// Wall-clock of the VDPC classification plus the VDQS searches — the
+    /// Table II "Time" measurement. The calibration prologue (streaming
+    /// the calibration set through the network) is **excluded**: it is
+    /// data preparation every method pays alike, and folding it in made
+    /// the reported search cost scale with calibration-set size.
+    /// [`crate::Planner::plan_uniform`] performs no search, so uniform
+    /// plans report zero.
+    #[must_use]
+    pub fn search_time(&self) -> Duration {
+        self.search_time
+    }
+
+    /// This plan with the wall-clock measurement zeroed — the one field
+    /// allowed to differ between runs — so plans compare bit-for-bit
+    /// (`assert_eq!(a.timeless(), b.timeless())`).
+    #[must_use]
+    pub fn timeless(mut self) -> Self {
+        self.search_time = Duration::ZERO;
+        self
+    }
+
     /// Calibrated `(min, max)` per branch feature map (one vector per
     /// branch, head length + 1 entries each).
+    #[must_use]
     pub fn branch_ranges(&self) -> &[Vec<(f32, f32)>] {
         &self.branch_ranges
     }
 
     /// Calibrated `(min, max)` per tail feature map (tail input first).
+    #[must_use]
     pub fn tail_ranges(&self) -> &[(f32, f32)] {
         &self.tail_ranges
     }

@@ -12,7 +12,11 @@
 //! calibration prologue builds on: each worker folds its chunk through a
 //! streaming observer into its own accumulator, and the per-chunk
 //! accumulators come back in chunk order so the caller can merge them in
-//! image order.
+//! image order. Underneath both sits [`par_map_states`], the generic
+//! ordered parallel map with one caller-defined state per worker — the
+//! entry point shared artifacts outside this crate (notably
+//! `quantmcu::Deployment`, which pairs one `Arc`-shared deployment with
+//! one session per worker) drive their batches through.
 
 use std::borrow::Borrow;
 use std::thread;
@@ -85,21 +89,57 @@ where
     G: Borrow<Graph> + Sync,
     F: Fn(&CompiledGraph<G>, &mut ExecState, &Tensor) -> Result<Tensor, GraphError> + Sync,
 {
-    let workers = effective_workers(workers, inputs.len());
+    par_map_states(inputs, workers, ExecState::new, |state, input| run(compiled, state, input))
+}
+
+/// The generic per-worker-state parallel map the batch drivers (and the
+/// serving layer's shared-deployment entry points, e.g.
+/// `quantmcu::Deployment::run_batch`) are built on: `items` are split
+/// into contiguous chunks, each chunk runs on its own
+/// [`std::thread::scope`] thread with one `make_state()` state, and
+/// results come back **in item order** — deterministic for every worker
+/// count. `workers = 1` runs inline on the calling thread (no spawn) with
+/// a single state, which is bit-for-bit the serial path.
+///
+/// The state is created *inside* the worker thread, so it does not need
+/// to be `Send` — only the items, results and error cross threads.
+///
+/// # Errors
+///
+/// Returns the first failing item's error (by item order within each
+/// chunk; across chunks, some chunk's first error).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+pub fn par_map_states<T, S, R, E, M, F>(
+    items: &[T],
+    workers: usize,
+    make_state: M,
+    run: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<R, E> + Sync,
+{
+    let workers = effective_workers(workers, items.len());
     if workers == 1 {
-        let mut state = ExecState::new();
-        return inputs.iter().map(|input| run(compiled, &mut state, input)).collect();
+        let mut state = make_state();
+        return items.iter().map(|item| run(&mut state, item)).collect();
     }
-    let chunk = inputs.len().div_ceil(workers);
-    let mut outputs: Vec<Option<Tensor>> = (0..inputs.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    let mut outputs: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     thread::scope(|scope| {
-        let run = &run;
+        let (make_state, run) = (&make_state, &run);
         let mut handles = Vec::with_capacity(workers);
-        for (in_chunk, out_chunk) in inputs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
-            handles.push(scope.spawn(move || -> Result<(), GraphError> {
-                let mut state = ExecState::new();
-                for (slot, input) in out_chunk.iter_mut().zip(in_chunk) {
-                    *slot = Some(run(compiled, &mut state, input)?);
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
+            handles.push(scope.spawn(move || -> Result<(), E> {
+                let mut state = make_state();
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(run(&mut state, item)?);
                 }
                 Ok(())
             }));
@@ -229,6 +269,37 @@ mod tests {
         let mut xs = inputs(3);
         xs[1] = Tensor::zeros(Shape::hwc(5, 5, 3));
         assert!(matches!(run_batch(&compiled, &xs, 2), Err(GraphError::InputShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn par_map_states_preserves_item_order_and_errors() {
+        let items: Vec<usize> = (0..11).collect();
+        let serial = par_map_states(
+            &items,
+            1,
+            || 0usize,
+            |count, &i| {
+                *count += 1;
+                Ok::<usize, ()>(i * 2)
+            },
+        )
+        .unwrap();
+        assert_eq!(serial, (0..11).map(|i| i * 2).collect::<Vec<_>>());
+        for workers in [2, 3, 4, 16] {
+            let parallel = par_map_states(
+                &items,
+                workers,
+                || 0usize,
+                |count, &i| {
+                    *count += 1;
+                    Ok::<usize, ()>(i * 2)
+                },
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "worker count {workers} changed the mapping");
+        }
+        let err = par_map_states(&items, 3, || (), |(), &i| if i == 7 { Err(i) } else { Ok(i) });
+        assert_eq!(err, Err(7));
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use std::borrow::Borrow;
+
 use quantmcu_nn::exec::{CompiledGraph, ExecState};
 use quantmcu_nn::kernels::{self, FloatDot};
 use quantmcu_nn::{Graph, GraphError, GraphSpec, NodeSpec, OpSpec, Source};
@@ -18,6 +20,32 @@ pub struct PatchOutput {
     pub final_output: Tensor,
 }
 
+/// The per-thread scratch half of a [`PatchExecutor`]: the tail's
+/// [`ExecState`], the branch feature-map [`Arena`] and the per-branch map
+/// slots. Construction allocates nothing; the buffers warm up over the
+/// first inference and every later run on the same executor is
+/// allocation-free.
+///
+/// One immutable executor plus N states executes on N threads at once —
+/// the same compile-once / execute-many split as
+/// [`CompiledGraph`] / [`ExecState`].
+#[derive(Debug, Default)]
+pub struct PatchState {
+    tail_state: ExecState,
+    /// Buffer pool for branch feature maps.
+    arena: Arena<f32>,
+    /// Per-branch feature-map scratch (drained back to the arena after
+    /// each branch; the `Vec` itself keeps its capacity).
+    maps: Vec<Tensor>,
+}
+
+impl PatchState {
+    /// An empty state; allocates nothing until the first run.
+    pub fn new() -> Self {
+        PatchState::default()
+    }
+}
+
 /// Executes a [`PatchPlan`] numerically.
 ///
 /// Per branch, the executor computes only the feature-map regions the
@@ -29,53 +57,81 @@ pub struct PatchOutput {
 /// branches (the heart of QuantMCU) are evaluated numerically; the dense
 /// integer path is validated separately in `quantmcu_nn::exec`.
 ///
-/// The tail is compiled **once** at construction
-/// ([`CompiledGraph`] owning the tail graph) and executed through a
-/// persistent [`ExecState`]; branch feature maps live in an
-/// executor-owned [`Arena`]. After a warm-up inference the whole
-/// head-branches-tail path performs zero steady-state heap allocations
-/// when driven through [`PatchExecutor::run_quantized_into`] with a
-/// reused [`PatchOutput`].
+/// The executor is the **immutable** half of patch-based inference:
+/// generic over `G: Borrow<Graph>`, it can borrow its graph
+/// (`PatchExecutor<&Graph>`), own it (`PatchExecutor<Graph>`) or share it
+/// (`PatchExecutor<std::sync::Arc<Graph>>`), and it is `Send + Sync`
+/// whenever `G` is — one executor serves any number of threads. All
+/// mutable scratch lives in a caller-owned [`PatchState`]: the tail is
+/// compiled **once** at construction ([`CompiledGraph`] owning the tail
+/// graph) and executed through the state's [`ExecState`], and branch
+/// feature maps live in the state's [`Arena`]. After a warm-up inference
+/// the whole head-branches-tail path performs zero steady-state heap
+/// allocations when driven through [`PatchExecutor::run_quantized_into`]
+/// with a reused [`PatchState`] and [`PatchOutput`].
 #[derive(Debug)]
-pub struct PatchExecutor<'g> {
-    graph: &'g Graph,
+pub struct PatchExecutor<G: Borrow<Graph> = Graph> {
+    graph: G,
     plan: PatchPlan,
     head: GraphSpec,
-    /// The tail, compiled once — no per-inference executor construction.
-    tail: CompiledGraph,
-    tail_state: ExecState,
+    /// The float tail, compiled once — no per-inference executor
+    /// construction. `None` for stage-only executors
+    /// ([`PatchExecutor::stage_only`]), which skip the tail-weight copy
+    /// entirely.
+    tail: Option<CompiledGraph>,
     branches: Vec<Branch>,
-    /// Buffer pool for branch feature maps.
-    arena: Arena<f32>,
-    /// Per-branch feature-map scratch (drained back to the arena after
-    /// each branch; the `Vec` itself keeps its capacity).
-    maps: Vec<Tensor>,
 }
 
-impl<'g> PatchExecutor<'g> {
+impl<G: Borrow<Graph>> PatchExecutor<G> {
     /// Prepares an executor for `plan` over `graph`, compiling the tail.
     ///
     /// # Errors
     ///
     /// Returns [`PatchError::Graph`] when the plan's split point does not
     /// match the graph (e.g. a skip edge crosses it).
-    pub fn new(graph: &'g Graph, plan: PatchPlan) -> Result<Self, PatchError> {
-        let spec = graph.spec();
+    pub fn new(graph: G, plan: PatchPlan) -> Result<Self, PatchError> {
+        Self::build(graph, plan, true)
+    }
+
+    /// Prepares an executor that runs **only** the per-patch stage
+    /// ([`PatchExecutor::run_stage_into`]): no float tail is compiled, so
+    /// no copy of the tail weights is made or held. This is what a
+    /// deployment with its own (integer) tail executor uses. The
+    /// full-inference entry points ([`PatchExecutor::run`],
+    /// [`PatchExecutor::run_quantized`],
+    /// [`PatchExecutor::run_quantized_into`]) return
+    /// [`PatchError::MissingTail`] on a stage-only executor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PatchExecutor::new`].
+    pub fn stage_only(graph: G, plan: PatchPlan) -> Result<Self, PatchError> {
+        Self::build(graph, plan, false)
+    }
+
+    fn build(graph: G, plan: PatchPlan, compile_tail: bool) -> Result<Self, PatchError> {
+        let spec = graph.borrow().spec();
         let (head, tail_spec) = spec.split_at(plan.split_at())?;
         let branches = Branch::build_all(spec, &plan);
-        let tail_params = (plan.split_at()..spec.len()).map(|i| graph.params(i).clone()).collect();
-        let tail = CompiledGraph::new(Graph::new(tail_spec, tail_params));
-        let tail_state = ExecState::for_graph(&tail);
-        Ok(PatchExecutor {
-            graph,
-            plan,
-            head,
-            tail,
-            tail_state,
-            branches,
-            arena: Arena::new(),
-            maps: Vec::new(),
-        })
+        let tail = if compile_tail {
+            let tail_params =
+                (plan.split_at()..spec.len()).map(|i| graph.borrow().params(i).clone()).collect();
+            Some(CompiledGraph::new(Graph::new(tail_spec, tail_params)))
+        } else {
+            None
+        };
+        Ok(PatchExecutor { graph, plan, head, tail, branches })
+    }
+
+    /// The executed graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph.borrow()
+    }
+
+    /// The graph holder itself — e.g. the `Arc<Graph>` of a shared
+    /// executor, so callers can clone the handle without re-wrapping.
+    pub fn graph_handle(&self) -> &G {
+        &self.graph
     }
 
     /// The plan being executed.
@@ -93,6 +149,11 @@ impl<'g> PatchExecutor<'g> {
         &self.branches
     }
 
+    /// A fresh scratch state for this executor (one per thread).
+    pub fn make_state(&self) -> PatchState {
+        PatchState::new()
+    }
+
     /// A zeroed [`PatchOutput`] with the shapes this executor produces,
     /// for reuse across [`PatchExecutor::run_quantized_into`] calls.
     pub fn make_output(&self) -> PatchOutput {
@@ -104,7 +165,15 @@ impl<'g> PatchExecutor<'g> {
                 .iter()
                 .map(|b| Tensor::zeros(patch_shape(stage_shape, b.output_region())))
                 .collect(),
-            final_output: Tensor::zeros(self.tail.spec().output_shape()),
+            // Stage-only executors never write the final output (the
+            // full-inference entry points error with `MissingTail`), so
+            // they get a minimal placeholder instead of a dead
+            // output-shaped buffer.
+            final_output: if self.tail.is_some() {
+                Tensor::zeros(self.graph.borrow().spec().output_shape())
+            } else {
+                Tensor::zeros(Shape::hwc(1, 1, 1))
+            },
         }
     }
 
@@ -114,8 +183,8 @@ impl<'g> PatchExecutor<'g> {
     ///
     /// Returns [`PatchError`] when the input shape mismatches or a region
     /// operation fails.
-    pub fn run(&mut self, input: &Tensor) -> Result<PatchOutput, PatchError> {
-        self.run_quantized(input, None)
+    pub fn run(&self, state: &mut PatchState, input: &Tensor) -> Result<PatchOutput, PatchError> {
+        self.run_quantized(state, input, None)
     }
 
     /// Runs patch-based inference, optionally fake-quantizing each branch.
@@ -130,12 +199,13 @@ impl<'g> PatchExecutor<'g> {
     /// Returns [`PatchError::BitwidthLength`] when a parameter vector has
     /// the wrong length, or propagated graph/tensor errors.
     pub fn run_quantized(
-        &mut self,
+        &self,
+        state: &mut PatchState,
         input: &Tensor,
         branch_quant: Option<&[Vec<QuantParams>]>,
     ) -> Result<PatchOutput, PatchError> {
         let mut out = self.make_output();
-        self.run_quantized_into(input, branch_quant, &mut out)?;
+        self.run_quantized_into(state, input, branch_quant, &mut out)?;
         Ok(out)
     }
 
@@ -147,16 +217,18 @@ impl<'g> PatchExecutor<'g> {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`PatchExecutor::run_quantized`].
+    /// Same conditions as [`PatchExecutor::run_quantized`], plus
+    /// [`PatchError::MissingTail`] on a stage-only executor.
     pub fn run_quantized_into(
-        &mut self,
+        &self,
+        state: &mut PatchState,
         input: &Tensor,
         branch_quant: Option<&[Vec<QuantParams>]>,
         out: &mut PatchOutput,
     ) -> Result<(), PatchError> {
-        self.run_stage_into(input, branch_quant, out)?;
-        self.tail
-            .run_float_into(&mut self.tail_state, &out.stage_output, &mut out.final_output)
+        let tail = self.tail.as_ref().ok_or(PatchError::MissingTail)?;
+        self.run_stage_into(state, input, branch_quant, out)?;
+        tail.run_float_into(&mut state.tail_state, &out.stage_output, &mut out.final_output)
             .map_err(PatchError::from)
     }
 
@@ -169,7 +241,8 @@ impl<'g> PatchExecutor<'g> {
     ///
     /// Same conditions as [`PatchExecutor::run_quantized`].
     pub fn run_stage_into(
-        &mut self,
+        &self,
+        state: &mut PatchState,
         input: &Tensor,
         branch_quant: Option<&[Vec<QuantParams>]>,
         out: &mut PatchOutput,
@@ -202,12 +275,21 @@ impl<'g> PatchExecutor<'g> {
             out.branch_outputs =
                 self.branches.iter().map(|_| Tensor::zeros(Shape::hwc(1, 1, 1))).collect();
         }
-        let PatchExecutor { graph, head, branches, arena, maps, .. } = self;
-        for (bi, branch) in branches.iter().enumerate() {
+        let PatchState { arena, maps, .. } = state;
+        for (bi, branch) in self.branches.iter().enumerate() {
             let patch = &mut out.branch_outputs[bi];
             ensure_shape(patch, patch_shape(stage_shape, branch.output_region()));
             let quant = branch_quant.map(|q| q[bi].as_slice());
-            run_branch_into(graph, head, branch, arena, maps, input, quant, patch)?;
+            run_branch_into(
+                self.graph.borrow(),
+                &self.head,
+                branch,
+                arena,
+                maps,
+                input,
+                quant,
+                patch,
+            )?;
             out.stage_output.paste(branch.output_region(), patch)?;
         }
         Ok(())
@@ -383,12 +465,52 @@ mod tests {
         Tensor::from_fn(Shape::hwc(16, 16, 3), |i| ((i as f32) * 0.31).sin())
     }
 
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn executor_is_send_sync_for_shareable_graphs() {
+        assert_send_sync::<PatchExecutor<Graph>>();
+        assert_send_sync::<PatchExecutor<&Graph>>();
+        assert_send_sync::<PatchExecutor<std::sync::Arc<Graph>>>();
+        fn assert_send<T: Send>() {}
+        assert_send::<PatchState>();
+    }
+
+    #[test]
+    fn owned_and_borrowed_executors_agree() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let borrowed = PatchExecutor::new(&g, plan.clone()).unwrap();
+        let owned = PatchExecutor::new(g.clone(), plan).unwrap();
+        let a = borrowed.run(&mut PatchState::new(), &input()).unwrap();
+        let b = owned.run(&mut PatchState::new(), &input()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stage_only_matches_full_executor_stage_and_rejects_tail_runs() {
+        let g = graph();
+        let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
+        let full = PatchExecutor::new(&g, plan.clone()).unwrap();
+        let stage = PatchExecutor::stage_only(&g, plan).unwrap();
+        let expected = full.run(&mut full.make_state(), &input()).unwrap();
+        let mut out = stage.make_output();
+        stage.run_stage_into(&mut stage.make_state(), &input(), None, &mut out).unwrap();
+        assert_eq!(out.stage_output, expected.stage_output);
+        assert_eq!(out.branch_outputs, expected.branch_outputs);
+        // Full-inference entry points need the tail.
+        assert!(matches!(
+            stage.run(&mut stage.make_state(), &input()),
+            Err(PatchError::MissingTail)
+        ));
+    }
+
     #[test]
     fn stitched_equals_full_execution() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
-        let out = pe.run(&input()).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let out = pe.run(&mut pe.make_state(), &input()).unwrap();
         let full = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         // Stage output (feature map 5) must match exactly.
         let full_stage = &full[5];
@@ -405,8 +527,8 @@ mod tests {
     fn three_by_three_grid_also_exact() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 3, 3).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
-        let out = pe.run(&input()).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let out = pe.run(&mut pe.make_state(), &input()).unwrap();
         let full = FloatExecutor::new(&g).run(&input()).unwrap();
         assert!(out.final_output.mean_abs_diff(&full) < 1e-4);
     }
@@ -415,11 +537,12 @@ mod tests {
     fn repeated_runs_reuse_buffers_and_agree() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
-        let fresh = pe.run(&input()).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut state = pe.make_state();
+        let fresh = pe.run(&mut state, &input()).unwrap();
         let mut reused = pe.make_output();
         for _ in 0..3 {
-            pe.run_quantized_into(&input(), None, &mut reused).unwrap();
+            pe.run_quantized_into(&mut state, &input(), None, &mut reused).unwrap();
             assert_eq!(fresh, reused, "reused-buffer run must be bit-identical");
         }
     }
@@ -428,9 +551,9 @@ mod tests {
     fn wrong_input_shape_is_rejected() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
         assert!(matches!(
-            pe.run(&Tensor::zeros(Shape::hwc(15, 16, 3))),
+            pe.run(&mut pe.make_state(), &Tensor::zeros(Shape::hwc(15, 16, 3))),
             Err(PatchError::Graph(GraphError::InputShapeMismatch { .. }))
         ));
     }
@@ -439,14 +562,15 @@ mod tests {
     fn quantized_branches_stay_close_at_8_bit() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut state = pe.make_state();
         // Build per-branch 8-bit params from a float trace.
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         let params: Vec<QuantParams> =
             trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W8)).collect();
         let per_branch = vec![params; 4];
-        let q = pe.run_quantized(&input(), Some(&per_branch)).unwrap();
-        let f = pe.run(&input()).unwrap();
+        let q = pe.run_quantized(&mut state, &input(), Some(&per_branch)).unwrap();
+        let f = pe.run(&mut state, &input()).unwrap();
         let denom = f.stage_output.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
         assert!(q.stage_output.mean_abs_diff(&f.stage_output) / denom < 0.05);
     }
@@ -455,21 +579,22 @@ mod tests {
     fn two_bit_branches_lose_more_than_8_bit() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut state = pe.make_state();
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         let mk = |b: Bitwidth| -> Vec<Vec<QuantParams>> {
             let p: Vec<QuantParams> =
                 trace[..6].iter().map(|t| QuantParams::from_tensor(t, b)).collect();
             vec![p; 4]
         };
-        let f = pe.run(&input()).unwrap();
+        let f = pe.run(&mut state, &input()).unwrap();
         let e8 = pe
-            .run_quantized(&input(), Some(&mk(Bitwidth::W8)))
+            .run_quantized(&mut state, &input(), Some(&mk(Bitwidth::W8)))
             .unwrap()
             .stage_output
             .mean_abs_diff(&f.stage_output);
         let e2 = pe
-            .run_quantized(&input(), Some(&mk(Bitwidth::W2)))
+            .run_quantized(&mut state, &input(), Some(&mk(Bitwidth::W2)))
             .unwrap()
             .stage_output
             .mean_abs_diff(&f.stage_output);
@@ -480,7 +605,7 @@ mod tests {
     fn mixed_per_branch_bitwidths_accepted() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
         let trace = FloatExecutor::new(&g).run_trace(&input()).unwrap();
         // Branch 0 at 8-bit (outlier class), others at 2-bit.
         let p8: Vec<QuantParams> =
@@ -488,7 +613,7 @@ mod tests {
         let p2: Vec<QuantParams> =
             trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W2)).collect();
         let per_branch = vec![p8, p2.clone(), p2.clone(), p2];
-        let out = pe.run_quantized(&input(), Some(&per_branch)).unwrap();
+        let out = pe.run_quantized(&mut pe.make_state(), &input(), Some(&per_branch)).unwrap();
         assert!(out.final_output.data().iter().all(|v| v.is_finite()));
     }
 
@@ -496,13 +621,14 @@ mod tests {
     fn wrong_quant_lengths_rejected() {
         let g = graph();
         let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-        let mut pe = PatchExecutor::new(&g, plan).unwrap();
+        let pe = PatchExecutor::new(&g, plan).unwrap();
+        let mut state = pe.make_state();
         let bad: Vec<Vec<QuantParams>> = vec![Vec::new(); 4];
         assert!(matches!(
-            pe.run_quantized(&input(), Some(&bad)),
+            pe.run_quantized(&mut state, &input(), Some(&bad)),
             Err(PatchError::BitwidthLength { .. })
         ));
         let bad_count: Vec<Vec<QuantParams>> = Vec::new();
-        assert!(pe.run_quantized(&input(), Some(&bad_count)).is_err());
+        assert!(pe.run_quantized(&mut state, &input(), Some(&bad_count)).is_err());
     }
 }

@@ -24,6 +24,9 @@ pub enum PatchError {
         /// Stage output width.
         out_w: usize,
     },
+    /// A full-inference entry point was called on an executor built with
+    /// [`crate::PatchExecutor::stage_only`] (no compiled tail).
+    MissingTail,
     /// A per-branch bitwidth vector has the wrong length.
     BitwidthLength {
         /// Feature maps in the branch (head length + 1).
@@ -43,6 +46,9 @@ impl fmt::Display for PatchError {
             }
             PatchError::GridTooFine { rows, cols, out_h, out_w } => {
                 write!(f, "{rows}x{cols} patch grid exceeds the {out_h}x{out_w} stage output")
+            }
+            PatchError::MissingTail => {
+                write!(f, "executor was built stage-only: it has no tail to run")
             }
             PatchError::BitwidthLength { expected, actual } => {
                 write!(f, "branch bitwidth vector needs {expected} entries, got {actual}")

@@ -16,7 +16,9 @@
 //! * [`PatchExecutor`] — runs a plan numerically (optionally with
 //!   per-feature-map fake quantization, which is how mixed-precision
 //!   branches are evaluated) and is bit-identical to full execution on
-//!   patch interiors;
+//!   patch interiors. The executor is the immutable, `Send + Sync` half
+//!   (generic over `Borrow<Graph>`); all per-inference scratch lives in a
+//!   caller-owned [`PatchState`], so one executor serves many threads;
 //! * [`redundancy`] — the overlap accounting behind Fig. 1b;
 //! * [`memory`] — the per-branch peak-SRAM model behind Table I;
 //! * [`baselines`] — layer-based inference, MCUNetV2, Cipolletta et al.'s
@@ -34,6 +36,6 @@ mod plan;
 pub mod redundancy;
 
 pub use branch::Branch;
-pub use engine::{PatchExecutor, PatchOutput};
+pub use engine::{PatchExecutor, PatchOutput, PatchState};
 pub use error::PatchError;
 pub use plan::{grid_regions, largest_straight_prefix, PatchPlan};

@@ -40,17 +40,18 @@ fn full_patch_inference_is_allocation_free_after_warmup() {
     let g = graph();
     let x = input();
     let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
+    let mut state = pe.make_state();
     let mut out = pe.make_output();
     // Warm-up: arenas reach their fixed point, scratch vectors their
     // steady capacity.
-    pe.run_quantized_into(&x, None, &mut out).unwrap();
-    pe.run_quantized_into(&x, None, &mut out).unwrap();
+    pe.run_quantized_into(&mut state, &x, None, &mut out).unwrap();
+    pe.run_quantized_into(&mut state, &x, None, &mut out).unwrap();
     let expected = out.clone();
 
     let before = alloc_counter::allocation_count();
     for _ in 0..20 {
-        pe.run_quantized_into(&x, None, &mut out).unwrap();
+        pe.run_quantized_into(&mut state, &x, None, &mut out).unwrap();
     }
     let after = alloc_counter::allocation_count();
     assert_eq!(
@@ -67,19 +68,20 @@ fn quantized_patch_inference_is_allocation_free_after_warmup() {
     let g = graph();
     let x = input();
     let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
+    let mut state = pe.make_state();
     // Per-branch 8-bit params from a float trace (setup may allocate).
     let trace = FloatExecutor::new(&g).run_trace(&x).unwrap();
     let params: Vec<QuantParams> =
         trace[..6].iter().map(|t| QuantParams::from_tensor(t, Bitwidth::W8)).collect();
     let per_branch = vec![params; 4];
     let mut out = pe.make_output();
-    pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
-    pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
+    pe.run_quantized_into(&mut state, &x, Some(&per_branch), &mut out).unwrap();
+    pe.run_quantized_into(&mut state, &x, Some(&per_branch), &mut out).unwrap();
 
     let before = alloc_counter::allocation_count();
     for _ in 0..20 {
-        pe.run_quantized_into(&x, Some(&per_branch), &mut out).unwrap();
+        pe.run_quantized_into(&mut state, &x, Some(&per_branch), &mut out).unwrap();
     }
     let after = alloc_counter::allocation_count();
     assert_eq!(
@@ -98,9 +100,10 @@ fn reused_output_matches_fresh_run() {
     let g = graph();
     let x = input();
     let plan = PatchPlan::new(g.spec(), 5, 3, 3).unwrap();
-    let mut pe = PatchExecutor::new(&g, plan).unwrap();
-    let fresh = pe.run(&x).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
+    let mut state = pe.make_state();
+    let fresh = pe.run(&mut state, &x).unwrap();
     let mut reused = pe.make_output();
-    pe.run_quantized_into(&x, None, &mut reused).unwrap();
+    pe.run_quantized_into(&mut state, &x, None, &mut reused).unwrap();
     assert_eq!(fresh, reused);
 }

@@ -7,24 +7,62 @@ use quantmcu::data::metrics::agreement_top1;
 use quantmcu::mcusim::Device;
 use quantmcu::models::{Model, ModelConfig};
 use quantmcu::tensor::Bitwidth;
-use quantmcu::{Deployment, DeploymentPlan, PlanError, Planner, QuantMcuConfig};
-use quantmcu_integration::{calib, eval, graph};
+use quantmcu::{
+    CalibrationStream, Deployment, DeploymentPlan, Engine, Error, PlanError, Planner,
+    QuantMcuConfig, Session, SramBudget,
+};
+use quantmcu_integration::{calib, dataset, eval, graph};
 
 /// Every facade path named in the public quickstart resolves and composes:
-/// plan through `quantmcu::Planner`, wrap in `quantmcu::Deployment`,
-/// measure with `quantmcu::data::metrics::agreement_top1`.
+/// build an `Engine`, plan from a `CalibrationSource`, deploy to an owned
+/// `Deployment`, serve through a `Session`, measure with
+/// `quantmcu::data::metrics::agreement_top1`.
 #[test]
-fn facade_exposes_the_full_pipeline() {
+fn facade_exposes_the_full_serving_pipeline() {
     let g = graph(Model::McuNet);
-    let planner: Planner = Planner::new(QuantMcuConfig::default());
-    let plan: DeploymentPlan = planner.plan(&g, &calib(4), 16 * 1024).unwrap();
-    let mut deployment: Deployment<'_> = Deployment::new(&g, plan).unwrap();
+    let engine: Engine = Engine::builder(g.clone())
+        .config(QuantMcuConfig::default())
+        .sram_budget(SramBudget::kib(16))
+        .build();
+    let plan: DeploymentPlan = engine.plan(calib(4)).unwrap();
+    let deployment: Deployment = engine.deploy(plan).unwrap();
+    let mut session: Session<&Deployment> = deployment.session();
     let inputs = eval(4);
-    let quant = deployment.run_batch(&inputs).unwrap();
+    let quant = session.run_batch(&inputs).unwrap();
     let float: Vec<_> =
         inputs.iter().map(|x| quantmcu::nn::exec::FloatExecutor::new(&g).run(x).unwrap()).collect();
     let agreement = agreement_top1(&float, &quant);
     assert!((0.0..=1.0).contains(&agreement));
+}
+
+/// Every documented `CalibrationSource` shape produces the same plan: a
+/// slice, an owned vector, a lazy `CalibrationStream`, and the dataset
+/// itself with an explicit count.
+#[test]
+fn calibration_sources_are_interchangeable() {
+    let engine = Engine::builder(graph(Model::McuNet)).sram_budget(SramBudget::kib(16)).build();
+    let images = calib(4);
+    let ds = dataset();
+    let from_slice = engine.plan(&images[..]).unwrap().timeless();
+    let from_vec = engine.plan(images.clone()).unwrap().timeless();
+    let from_stream =
+        engine.plan(CalibrationStream::new((0..4).map(|i| ds.sample(i).0))).unwrap().timeless();
+    let from_dataset = engine.plan((ds, 4)).unwrap().timeless();
+    assert_eq!(from_slice, from_vec);
+    assert_eq!(from_slice, from_stream);
+    assert_eq!(from_slice, from_dataset);
+}
+
+/// The `Planner` façade (kept for the paper-reproduction binaries)
+/// produces bit-identical plans to the `Engine` front door.
+#[test]
+fn planner_facade_matches_engine() {
+    let g = graph(Model::McuNet);
+    let via_planner =
+        Planner::new(QuantMcuConfig::default()).plan(&g, &calib(4), 16 * 1024).unwrap().timeless();
+    let engine = Engine::builder(g).sram_budget(SramBudget::kib(16)).build();
+    let via_engine = engine.plan(calib(4)).unwrap().timeless();
+    assert_eq!(via_planner, via_engine);
 }
 
 /// The subsystem re-export modules expose their headline types under the
@@ -37,6 +75,7 @@ fn facade_reexports_subsystem_types() {
     // quantmcu::mcusim
     let [nano, stm] = Device::table1_platforms();
     assert!(nano.sram_bytes < stm.sram_bytes);
+    assert_eq!(SramBudget::of_device(&nano).bytes(), nano.sram_bytes);
     // quantmcu::models
     let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale()).unwrap();
     assert!(!spec.is_empty());
@@ -48,16 +87,21 @@ fn facade_reexports_subsystem_types() {
     assert!(cfg.lambda > 0.0 && cfg.lambda < 1.0);
 }
 
-/// Error types unify at the facade: subsystem failures surface as
-/// `quantmcu::PlanError` through the planner, so downstream `?` works with
-/// one error type.
+/// Error types unify at the facade: subsystem failures surface as the
+/// single `quantmcu::Error` through the engine, so downstream `?` works
+/// with one error type.
 #[test]
 fn facade_unifies_errors() {
-    let g = graph(Model::MobileNetV2);
-    // An absurdly small SRAM budget must fail with a PlanError, not panic.
-    let result: Result<DeploymentPlan, PlanError> =
-        Planner::new(QuantMcuConfig::default()).plan(&g, &calib(2), 8);
-    assert!(result.is_err());
-    let message = result.unwrap_err().to_string();
-    assert!(!message.is_empty());
+    let engine = Engine::builder(graph(Model::MobileNetV2))
+        // An absurdly small SRAM budget must fail with an Error, not panic.
+        .sram_budget(SramBudget::new(8))
+        .build();
+    let result: Result<DeploymentPlan, Error> = engine.plan(calib(2));
+    let err = result.unwrap_err();
+    assert!(matches!(err, Error::Plan(_)));
+    assert!(!err.to_string().is_empty());
+    // The façade's own error still resolves for legacy callers.
+    let legacy: Result<DeploymentPlan, PlanError> =
+        Planner::new(QuantMcuConfig::default()).plan(&graph(Model::MobileNetV2), &calib(2), 8);
+    assert!(legacy.is_err());
 }

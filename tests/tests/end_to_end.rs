@@ -53,9 +53,9 @@ fn deployed_accuracy_stays_close_to_float() {
     // At exec scale, demand >= 90% top-1 agreement with the float model.
     let g = graph(Model::MobileNetV2);
     let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(6), SRAM).unwrap();
-    let mut deployment = Deployment::new(&g, plan).unwrap();
+    let deployment = Deployment::new(g.clone(), plan).unwrap();
     let inputs = eval(24);
-    let quant = deployment.run_batch(&inputs).unwrap();
+    let quant = deployment.session().run_batch(&inputs).unwrap();
     let mut float_exec = FloatExecutor::new(&g);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = agreement_top1(&float, &quant);
@@ -67,7 +67,7 @@ fn search_finishes_in_seconds_not_minutes() {
     // Table II's claim: the search costs ~0.5 min where RL takes 90.
     let g = graph(Model::MobileNetV2);
     let plan = Planner::new(QuantMcuConfig::paper()).plan(&g, &calib(6), SRAM).unwrap();
-    assert!(plan.search_time.as_secs_f64() < 60.0, "search took {:?}", plan.search_time);
+    assert!(plan.search_time().as_secs_f64() < 60.0, "search took {:?}", plan.search_time());
 }
 
 #[test]
@@ -78,22 +78,22 @@ fn pipeline_works_across_the_model_zoo() {
             .plan(&g, &calib(4), SRAM)
             .unwrap_or_else(|e| panic!("{model}: {e}"));
         assert!(plan.bitops() <= plan.baseline_patch_bitops(), "{model}");
-        let mut deployment = Deployment::new(&g, plan).unwrap();
-        let out = deployment.run(&eval(1)[0]).unwrap();
+        let deployment = Deployment::new(g.clone(), plan).unwrap();
+        let out = deployment.session().run(&eval(1)[0]).unwrap();
         assert!(out.data().iter().all(|v| v.is_finite()), "{model}");
     }
 }
 
 #[test]
 fn ablation_never_beats_protected_plan_on_fidelity() {
-    let g = graph(Model::MobileNetV2);
+    let g = std::sync::Arc::new(graph(Model::MobileNetV2));
     let inputs = eval(24);
     let mut float_exec = FloatExecutor::new(&g);
     let float: Vec<Tensor> = inputs.iter().map(|t| float_exec.run(t).unwrap()).collect();
     let fidelity = |cfg: QuantMcuConfig| {
         let plan = Planner::new(cfg).plan(&g, &calib(6), SRAM).unwrap();
-        let mut dep = Deployment::new(&g, plan).unwrap();
-        agreement_top1(&float, &dep.run_batch(&inputs).unwrap())
+        let dep = Deployment::new(std::sync::Arc::clone(&g), plan).unwrap();
+        agreement_top1(&float, &dep.session().run_batch(&inputs).unwrap())
     };
     let protected = fidelity(QuantMcuConfig::paper());
     let ablated = fidelity(QuantMcuConfig::without_vdpc());

@@ -1,0 +1,74 @@
+//! Error-path coverage for the serving surface: each documented failure
+//! mode must surface as the right `quantmcu::Error` variant, with intact
+//! `Display` text at every level and a `source()` chain that walks down
+//! to the subsystem leaf.
+
+use std::error::Error as _;
+
+use quantmcu::models::Model;
+use quantmcu::tensor::{Shape, Tensor};
+use quantmcu::{Engine, Error, PlanError, SramBudget};
+use quantmcu_integration::{calib, graph};
+
+/// Walks the `source()` chain to the leaf, asserting every level renders
+/// a non-empty `Display`, and returns the chain depth (the error itself
+/// excluded).
+fn chain_depth(err: &dyn std::error::Error) -> usize {
+    assert!(!err.to_string().is_empty(), "every error level must render a message");
+    match err.source() {
+        Some(inner) => 1 + chain_depth(inner),
+        None => 0,
+    }
+}
+
+#[test]
+fn empty_calibration_reports_the_plan_variant() {
+    let engine = Engine::builder(graph(Model::MobileNetV2)).build();
+    let err = engine.plan(Vec::new()).unwrap_err();
+    assert!(matches!(err, Error::Plan(PlanError::NoCalibration)), "got {err:?}");
+    assert!(err.to_string().contains("calibration"), "display: {err}");
+    // Error -> PlanError (NoCalibration is a leaf).
+    assert_eq!(chain_depth(&err), 1);
+}
+
+#[test]
+fn infeasible_sram_budget_reports_the_plan_variant() {
+    // 8 bytes cannot hold any feature map even at the narrowest
+    // candidate bitwidths.
+    let engine = Engine::builder(graph(Model::MobileNetV2)).sram_budget(SramBudget::new(8)).build();
+    let err = engine.plan(calib(2)).unwrap_err();
+    assert!(matches!(err, Error::Plan(_)), "got {err:?}");
+    // Error -> PlanError -> subsystem leaf (patch fit or Eq. 7 repair).
+    assert!(chain_depth(&err) >= 2, "expected a chain to the subsystem error: {err:?}");
+}
+
+#[test]
+fn session_input_shape_mismatch_reports_the_patch_variant() {
+    let engine =
+        Engine::builder(graph(Model::MobileNetV2)).sram_budget(SramBudget::kib(16)).build();
+    let deployment = engine.deploy(engine.plan(calib(4)).unwrap()).unwrap();
+    let mut session = deployment.session();
+    let wrong = Tensor::zeros(Shape::hwc(7, 7, 3));
+    let err = session.run(&wrong).unwrap_err();
+    assert!(matches!(err, Error::Patch(_)), "got {err:?}");
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+    // Error -> PatchError -> GraphError::InputShapeMismatch.
+    assert_eq!(chain_depth(&err), 2, "chain: {err:?}");
+    let leaf = err.source().unwrap().source().unwrap().to_string();
+    assert!(leaf.contains("shape") || leaf.contains("input"), "leaf display: {leaf}");
+}
+
+#[test]
+fn error_display_distinguishes_the_variants() {
+    let engine = Engine::builder(graph(Model::MobileNetV2)).build();
+    let plan_err = engine.plan(Vec::new()).unwrap_err();
+    let deployment = {
+        let e = Engine::builder(graph(Model::MobileNetV2)).sram_budget(SramBudget::kib(16)).build();
+        e.deploy(e.plan(calib(4)).unwrap()).unwrap()
+    };
+    let patch_err = deployment.session().run(&Tensor::zeros(Shape::hwc(7, 7, 3))).unwrap_err();
+    assert!(plan_err.to_string().starts_with("planning failed"));
+    assert!(patch_err.to_string().starts_with("patch execution failed"));
+    assert_ne!(plan_err.to_string(), patch_err.to_string());
+}

@@ -5,10 +5,8 @@
 //! classification, entropy tables, the VDQS searches, the calibrated
 //! ranges — can observe which worker count produced its inputs.
 
-use std::time::Duration;
-
 use quantmcu::tensor::{Bitwidth, Shape, Tensor};
-use quantmcu::{DeploymentPlan, Planner, QuantMcuConfig};
+use quantmcu::{Planner, QuantMcuConfig};
 
 fn graph() -> quantmcu::nn::Graph {
     let spec = quantmcu::nn::GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
@@ -43,12 +41,6 @@ fn calib(n: usize) -> Vec<Tensor> {
         .collect()
 }
 
-/// Strips the wall-clock measurement, the one field allowed to differ.
-fn timeless(mut plan: DeploymentPlan) -> DeploymentPlan {
-    plan.search_time = Duration::ZERO;
-    plan
-}
-
 fn planner(workers: usize) -> Planner {
     Planner::new(QuantMcuConfig { workers, ..QuantMcuConfig::paper() })
 }
@@ -57,9 +49,9 @@ fn planner(workers: usize) -> Planner {
 fn parallel_plan_is_bit_identical_to_serial_for_any_worker_count() {
     let g = graph();
     let images = calib(7);
-    let serial = timeless(planner(1).plan(&g, &images, 256 * 1024).unwrap());
+    let serial = planner(1).plan(&g, &images, 256 * 1024).unwrap().timeless();
     for workers in [2, 3, 4, 7, 16] {
-        let parallel = timeless(planner(workers).plan(&g, &images, 256 * 1024).unwrap());
+        let parallel = planner(workers).plan(&g, &images, 256 * 1024).unwrap().timeless();
         assert_eq!(serial, parallel, "worker count {workers} changed the plan");
     }
 }
@@ -68,10 +60,12 @@ fn parallel_plan_is_bit_identical_to_serial_for_any_worker_count() {
 fn parallel_plan_uniform_is_bit_identical_to_serial() {
     let g = graph();
     let images = calib(6);
-    let serial = timeless(planner(1).plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024).unwrap());
+    let serial = planner(1).plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024).unwrap().timeless();
     for workers in [2, 4, 6] {
-        let parallel =
-            timeless(planner(workers).plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024).unwrap());
+        let parallel = planner(workers)
+            .plan_uniform(&g, &images, Bitwidth::W8, 256 * 1024)
+            .unwrap()
+            .timeless();
         assert_eq!(serial, parallel, "worker count {workers} changed the uniform plan");
     }
 }
@@ -82,12 +76,12 @@ fn ranges_and_classes_survive_odd_chunkings() {
     // ragged-final-chunk path of the chunked prologue.
     let g = graph();
     let images = calib(5);
-    let serial = timeless(planner(1).plan(&g, &images, 256 * 1024).unwrap());
+    let serial = planner(1).plan(&g, &images, 256 * 1024).unwrap().timeless();
     for workers in [2, 3, 4] {
-        let parallel = timeless(planner(workers).plan(&g, &images, 256 * 1024).unwrap());
+        let parallel = planner(workers).plan(&g, &images, 256 * 1024).unwrap().timeless();
         assert_eq!(serial.branch_ranges(), parallel.branch_ranges());
-        assert_eq!(serial.patch_classes, parallel.patch_classes);
-        assert_eq!(serial.branch_bits, parallel.branch_bits);
-        assert_eq!(serial.tail_bits, parallel.tail_bits);
+        assert_eq!(serial.patch_classes(), parallel.patch_classes());
+        assert_eq!(serial.branch_bits(), parallel.branch_bits());
+        assert_eq!(serial.tail_bits(), parallel.tail_bits());
     }
 }

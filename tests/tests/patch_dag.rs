@@ -49,9 +49,9 @@ fn residual_head_patching_is_exact() {
     let g = residual_graph();
     // Split after the strided conv: head = conv,relu6,conv,add,conv.
     let plan = PatchPlan::new(g.spec(), 5, 2, 2).unwrap();
-    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
     let x = input(Shape::hwc(16, 16, 6), 1);
-    let patched = pe.run(&x).unwrap();
+    let patched = pe.run(&mut pe.make_state(), &x).unwrap();
     let full = FloatExecutor::new(&g).run(&x).unwrap();
     assert!(
         patched.final_output.mean_abs_diff(&full) < 1e-4,
@@ -67,9 +67,9 @@ fn concat_head_patching_is_exact() {
     let split = quantmcu::patch::largest_straight_prefix(g.spec());
     assert!(split >= 7, "fire module should be patchable, prefix = {split}");
     let plan = PatchPlan::new(g.spec(), split, 3, 3).unwrap();
-    let mut pe = PatchExecutor::new(&g, plan).unwrap();
+    let pe = PatchExecutor::new(&g, plan).unwrap();
     let x = input(Shape::hwc(16, 16, 8), 2);
-    let patched = pe.run(&x).unwrap();
+    let patched = pe.run(&mut pe.make_state(), &x).unwrap();
     let full = FloatExecutor::new(&g).run(&x).unwrap();
     assert!(patched.final_output.mean_abs_diff(&full) < 1e-4);
 }

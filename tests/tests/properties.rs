@@ -89,9 +89,9 @@ proptest! {
             .unwrap();
         let graph = init::with_structured_weights(spec, seed);
         let plan = PatchPlan::new(graph.spec(), 3, rows, cols).unwrap();
-        let mut pe = PatchExecutor::new(&graph, plan).unwrap();
+        let pe = PatchExecutor::new(&graph, plan).unwrap();
         let input = Tensor::from_fn(Shape::hwc(12, 12, 3), |i| ((i as u64 ^ seed) as f32 * 0.01).sin());
-        let patched = pe.run(&input).unwrap();
+        let patched = pe.run(&mut pe.make_state(), &input).unwrap();
         let full = FloatExecutor::new(&graph).run(&input).unwrap();
         prop_assert!(patched.final_output.mean_abs_diff(&full) < 1e-4);
     }
