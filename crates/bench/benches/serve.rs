@@ -1,15 +1,19 @@
-//! Serving-throughput benchmarks: one immutable `Deployment` shared by
-//! per-worker `Session`s, swept across worker counts — the serving-side
-//! counterpart of the planner-throughput sweep in `planner.rs`. On a
-//! single-core host the sweep degenerates to parity, which is itself
-//! worth pinning: the multi-session path must not be slower than one
-//! warm session at `workers = 1`.
+//! Serving-throughput benchmarks: one immutable `Deployment` driven
+//! through every serving path — a warm serial `Session`, the scoped
+//! `Deployment::run_batch` across worker counts, and the persistent
+//! `Server` (warm worker sessions, bounded queue, micro-batching) across
+//! worker count × `max_batch` — the serving-side counterpart of the
+//! planner-throughput sweep in `planner.rs`. On a single-core host the
+//! sweeps degenerate to parity, which is itself worth pinning: neither
+//! multi-worker path may fall behind one warm session at `workers = 1`.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use quantmcu::models::Model;
 use quantmcu::tensor::Tensor;
-use quantmcu::{Engine, SramBudget};
+use quantmcu::{Engine, Server, SramBudget};
 use quantmcu_bench::{exec_dataset, exec_graph, EXEC_SRAM};
 
 fn serving_throughput(c: &mut Criterion) {
@@ -18,7 +22,7 @@ fn serving_throughput(c: &mut Criterion) {
         .build();
     let ds = exec_dataset();
     let plan = engine.plan(ds.images(8)).expect("plan");
-    let deployment = engine.deploy(plan).expect("deploy");
+    let deployment = Arc::new(engine.deploy(plan).expect("deploy"));
     let inputs: Vec<Tensor> = (100..116).map(|i| ds.sample(i).0).collect();
 
     let mut group = c.benchmark_group("serve");
@@ -28,10 +32,25 @@ fn serving_throughput(c: &mut Criterion) {
         let mut session = deployment.session();
         b.iter(|| session.run_batch(&inputs).expect("serve"))
     });
-    // Shared deployment, one session per worker.
+    // Shared deployment, scoped fan-out: one fresh session per worker
+    // per call.
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("batch_16img", workers), &workers, |b, &w| {
             b.iter(|| deployment.run_batch(&inputs, w).expect("serve"))
+        });
+    }
+    // Persistent server: warm per-worker sessions behind the bounded
+    // micro-batching queue, measured through the ticketed batch path.
+    for (workers, max_batch) in [(1usize, 1usize), (1, 8), (2, 8), (4, 8)] {
+        let id = BenchmarkId::new("server_16img", format!("{workers}w_mb{max_batch}"));
+        group.bench_with_input(id, &(workers, max_batch), |b, &(w, mb)| {
+            let server = Server::builder(Arc::clone(&deployment))
+                .workers(w)
+                .max_batch(mb)
+                .queue_capacity(inputs.len())
+                .build();
+            server.run_batch(&inputs).expect("warm-up"); // warm the sessions
+            b.iter(|| server.run_batch(&inputs).expect("serve"))
         });
     }
     group.finish();

@@ -1,36 +1,38 @@
-//! Multi-session serving-throughput measurement emitting
-//! `BENCH_serve.json`, so the serving-speed trajectory is
-//! machine-readable across revisions — the serving-side companion of
-//! `bench_plan`.
+//! Serving-throughput measurement emitting `BENCH_serve.json`, so the
+//! serving-speed trajectory is machine-readable across revisions — the
+//! serving-side companion of `bench_plan`.
 //!
-//! Plans and deploys once, then serves an evaluation batch through
-//! `Deployment::run_batch` (one per-thread `Session` per worker) at a
-//! sweep of worker counts, reporting wall clock, images/second, speedup
-//! versus serial — and cross-checking that every worker count produced
-//! bit-identical outputs (the serving determinism contract).
+//! Plans and deploys once, then drives an evaluation batch through both
+//! serving paths:
 //!
-//! Set `QUANTMCU_SMOKE=1` to shrink the batch and repetition count for CI
-//! smoke runs.
+//! * **scoped** — `Deployment::run_batch` (fresh sessions per call, one
+//!   per worker), swept across worker counts;
+//! * **server** — a persistent `quantmcu::Server` (warm sessions, bounded
+//!   queue, dynamic micro-batching), swept across worker count ×
+//!   `max_batch`, measured through `Server::run_batch` and reporting the
+//!   runtime's own p50/p99 latency histogram.
+//!
+//! Every configuration is cross-checked bit-identical against the serial
+//! session (the serving determinism contract). Set `QUANTMCU_SMOKE=1` to
+//! shrink the batch and repetition count for CI smoke runs.
 
 use std::time::{Duration, Instant};
 
 use quantmcu::models::Model;
 use quantmcu::tensor::Tensor;
-use quantmcu::{Deployment, Engine, SramBudget};
+use quantmcu::{Engine, Server, SramBudget};
 use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
 
-/// Best-of-N wall clock for one worker count, plus the produced outputs.
-fn measure(
-    deployment: &Deployment,
-    inputs: &[Tensor],
-    workers: usize,
-    reps: usize,
-) -> (Duration, Vec<Tensor>) {
+/// Best-of-N wall clock for one batch runner, plus the produced outputs.
+fn measure<F>(reps: usize, mut run: F) -> (Duration, Vec<Tensor>)
+where
+    F: FnMut() -> Vec<Tensor>,
+{
     let mut best = Duration::MAX;
     let mut outputs = None;
     for _ in 0..reps {
         let start = Instant::now();
-        let out = deployment.run_batch(inputs, workers).expect("serve");
+        let out = run();
         best = best.min(start.elapsed());
         outputs = Some(out);
     }
@@ -44,18 +46,21 @@ fn main() {
         .build();
     let ds = exec_dataset();
     let plan = engine.plan(ds.images(8)).expect("plan");
-    let deployment = engine.deploy(plan).expect("deploy");
+    let deployment = std::sync::Arc::new(engine.deploy(plan).expect("deploy"));
     let inputs: Vec<Tensor> = (100..100 + batch).map(|i| ds.sample(i).0).collect();
     let host_parallelism = quantmcu::default_workers();
 
     println!("Serving throughput: one Deployment, {batch}-image batches, best of {reps}\n");
-    let (serial_time, serial_out) = measure(&deployment, &inputs, 1, reps);
-    let mut rows = Vec::new();
+    println!("scoped Deployment::run_batch (fresh sessions per call):");
+    let (serial_time, serial_out) =
+        measure(reps, || deployment.run_batch(&inputs, 1).expect("serve"));
+    let mut scoped_rows = Vec::new();
+    let scoped_serial_secs = serial_time.as_secs_f64();
     for workers in [1usize, 2, 4, 8] {
         let (time, out) = if workers == 1 {
             (serial_time, serial_out.clone())
         } else {
-            measure(&deployment, &inputs, workers, reps)
+            measure(reps, || deployment.run_batch(&inputs, workers).expect("serve"))
         };
         let identical = out == serial_out;
         let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
@@ -66,18 +71,55 @@ fn main() {
             time.as_secs_f64() * 1e3
         );
         assert!(identical, "worker count {workers} changed the outputs");
-        rows.push(format!(
+        scoped_rows.push(format!(
             "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"images_per_second\": \
              {throughput:.2}, \"speedup\": {speedup:.4}, \"bit_identical\": {identical}}}",
             time.as_secs_f64()
         ));
     }
 
+    println!("\npersistent Server (warm sessions, bounded queue, micro-batching):");
+    let mut server_rows = Vec::new();
+    for (workers, max_batch) in [(1usize, 1usize), (1, 8), (2, 8), (4, 8), (8, 8)] {
+        let server = Server::builder(std::sync::Arc::clone(&deployment))
+            .workers(workers)
+            .max_batch(max_batch)
+            .queue_capacity(batch.max(16))
+            .build();
+        // One warm-up pass so the sweep measures steady-state sessions —
+        // the persistent runtime's whole point.
+        let warmup = server.run_batch(&inputs).expect("serve");
+        assert_eq!(warmup, serial_out, "server warm-up changed the outputs");
+        let (time, out) = measure(reps, || server.run_batch(&inputs).expect("serve"));
+        let identical = out == serial_out;
+        let stats = server.shutdown();
+        let vs_scoped = scoped_serial_secs / time.as_secs_f64();
+        let throughput = batch as f64 / time.as_secs_f64();
+        println!(
+            "  workers = {workers}, max_batch = {max_batch}: {:8.1} ms  {throughput:7.1} img/s  \
+             vs scoped serial {vs_scoped:4.2}x  p50 {:?}  p99 {:?}  bit-identical: {identical}",
+            time.as_secs_f64() * 1e3,
+            stats.latency_p50,
+            stats.latency_p99,
+        );
+        assert!(identical, "server ({workers} workers, max_batch {max_batch}) changed outputs");
+        server_rows.push(format!(
+            "    {{\"workers\": {workers}, \"max_batch\": {max_batch}, \"seconds\": {:.6}, \
+             \"images_per_second\": {throughput:.2}, \"vs_scoped_serial\": {vs_scoped:.4}, \
+             \"latency_p50_us\": {}, \"latency_p99_us\": {}, \"bit_identical\": {identical}}}",
+            time.as_secs_f64(),
+            stats.latency_p50.as_micros(),
+            stats.latency_p99.as_micros(),
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"serving_throughput\",\n  \"model\": \"MobileNetV2 (exec scale)\",\n  \
          \"batch\": {batch},\n  \"reps\": {reps},\n  \
-         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"server_sweep\": [\n{}\n  ]\n}}\n",
+        scoped_rows.join(",\n"),
+        server_rows.join(",\n")
     );
     // Smoke runs exist to catch runtime panics; don't let their shrunken
     // measurements clobber the committed full-config snapshot.

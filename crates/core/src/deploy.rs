@@ -119,10 +119,13 @@ impl Deployment {
         Session::new(self)
     }
 
-    /// Serves a batch over `workers` threads, each with its own
-    /// [`Session`] against this shared deployment, returning outputs in
-    /// input order. Results are **bit-identical for every worker count**;
-    /// `workers = 1` is exactly the serial session loop.
+    /// Serves a batch over `workers` **scoped** threads, each with its
+    /// own fresh [`Session`] against this shared deployment, returning
+    /// outputs in input order. Results are **bit-identical for every
+    /// worker count**; `workers = 1` is exactly the serial session loop.
+    /// For long-lived traffic that should keep warm sessions, a bounded
+    /// queue and micro-batching between calls, wrap the deployment in a
+    /// persistent [`Server`](crate::Server) instead.
     ///
     /// # Errors
     ///
@@ -146,7 +149,9 @@ impl Deployment {
 /// can move onto a detached thread. Construction allocates only the
 /// reused stage-output buffers; the arenas warm up over the first
 /// inference, after which steady-state runs reuse every buffer — so keep
-/// sessions alive across requests rather than opening one per request.
+/// sessions alive across requests rather than opening one per request
+/// (the persistent [`Server`](crate::Server) runtime does exactly that,
+/// one warm session per pooled worker).
 #[derive(Debug)]
 pub struct Session<D: Borrow<Deployment> = Arc<Deployment>> {
     deployment: D,

@@ -4,6 +4,8 @@ use quantmcu_nn::GraphError;
 use quantmcu_patch::PatchError;
 use quantmcu_quant::QuantError;
 
+use crate::serve::ServeError;
+
 /// The one error type the serving surface ([`crate::Engine`],
 /// [`crate::Session`], [`crate::Deployment`]) returns, so downstream `?`
 /// composes across planning, deployment and inference.
@@ -37,6 +39,9 @@ pub enum Error {
     Graph(GraphError),
     /// The patch engine rejected a plan or an input.
     Patch(PatchError),
+    /// The serving runtime ([`crate::Server`]) rejected or lost a
+    /// request (full queue, shutdown in progress).
+    Serve(ServeError),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +50,7 @@ impl fmt::Display for Error {
             Error::Plan(e) => write!(f, "planning failed: {e}"),
             Error::Graph(e) => write!(f, "graph execution failed: {e}"),
             Error::Patch(e) => write!(f, "patch execution failed: {e}"),
+            Error::Serve(e) => write!(f, "serving failed: {e}"),
         }
     }
 }
@@ -55,6 +61,7 @@ impl std::error::Error for Error {
             Error::Plan(e) => Some(e),
             Error::Graph(e) => Some(e),
             Error::Patch(e) => Some(e),
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -74,6 +81,12 @@ impl From<GraphError> for Error {
 impl From<PatchError> for Error {
     fn from(e: PatchError) -> Self {
         Error::Patch(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
     }
 }
 

@@ -48,6 +48,13 @@
 //! # }
 //! ```
 //!
+//! For long-lived traffic, wrap the deployment in a [`Server`]: a
+//! persistent pool of warm [`Session`] workers behind a bounded
+//! micro-batching queue, with per-request [`Ticket`]s, backpressure
+//! ([`Server::submit`] blocks, [`Server::try_submit`] returns
+//! [`ServeError::QueueFull`]) and [`ServerStats`] latency/throughput
+//! telemetry — outputs stay bit-identical to a serial [`Session::run`].
+//!
 //! The borrow-based [`Planner`] façade
 //! (`Planner::new(cfg).plan(&graph, &images, bytes)`) remains for the
 //! paper-reproduction binaries; it produces the same plans bit for bit.
@@ -65,6 +72,7 @@ mod engine;
 mod error;
 mod pipeline;
 mod plan;
+mod serve;
 
 pub use calibration::{CalibrationSource, CalibrationStream, DEFAULT_CALIBRATION_IMAGES};
 pub use config::{default_workers, QuantMcuConfig};
@@ -73,6 +81,7 @@ pub use engine::{Engine, EngineBuilder, SramBudget};
 pub use error::{Error, PlanError};
 pub use pipeline::Planner;
 pub use plan::DeploymentPlan;
+pub use serve::{ServeError, Server, ServerBuilder, ServerStats, Ticket};
 
 // One-stop re-exports so downstream users need only this crate.
 pub use quantmcu_data as data;

@@ -138,7 +138,10 @@ impl DetectionDataset {
 /// `tanh(dx/dy)/2` cell sizes, the extent is an anchor-relative
 /// exponential, and the confidence is `sigmoid(objectness)` times the
 /// softmax class probability. Detections below `score_threshold` are
-/// dropped.
+/// dropped, as are detections whose score is not finite (NaN/±inf
+/// logits poison the softmax, never the caller): every returned
+/// detection has a finite score and a finite box clamped to `[0, 1]`
+/// (pinned by `tests/detection_props.rs`).
 ///
 /// # Panics
 ///
@@ -162,10 +165,29 @@ pub fn decode(output: &Tensor, det: &DetectionSpec, score_threshold: f32) -> Vec
                 let w = (anchor_scale * (read(2) * 0.5).exp()).min(1.0);
                 let h = (anchor_scale * (read(3) * 0.5).exp()).min(1.0);
                 let obj = sigmoid(read(4));
-                // Softmax over class logits.
+                // Softmax over class logits, robust to non-finite values:
+                // the maximal logit maps to weight 1 exactly (even at
+                // +inf, where `v - max` would be NaN), and a NaN logit
+                // maps to weight 0 instead of poisoning the denominator
+                // (a NaN sum would be clamped to 1e-9 below while a
+                // finite numerator survives, exploding the score).
                 let logits: Vec<f32> = (0..det.classes).map(|c| read(5 + c)).collect();
                 let max_logit = logits.iter().fold(f32::MIN, |m, &v| m.max(v));
-                let exps: Vec<f32> = logits.iter().map(|&v| (v - max_logit).exp()).collect();
+                let exps: Vec<f32> = logits
+                    .iter()
+                    .map(|&v| {
+                        if v == max_logit {
+                            1.0
+                        } else {
+                            let e = (v - max_logit).exp();
+                            if e.is_finite() {
+                                e
+                            } else {
+                                0.0
+                            }
+                        }
+                    })
+                    .collect();
                 let denom: f32 = exps.iter().sum();
                 let (class, &best) = exps
                     .iter()
@@ -173,7 +195,7 @@ pub fn decode(output: &Tensor, det: &DetectionSpec, score_threshold: f32) -> Vec
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .expect("at least one class");
                 let score = obj * best / denom.max(1e-9);
-                if score >= score_threshold {
+                if score.is_finite() && score >= score_threshold {
                     out.push(Detection {
                         bbox: BBox {
                             x0: (cx - w / 2.0).max(0.0),

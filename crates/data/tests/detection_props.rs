@@ -1,0 +1,169 @@
+//! Property tests for the detection-geometry edge cases: `BBox::iou`
+//! with zero-area and inverted boxes, `nms` deduplication, and `decode`
+//! fed NaN/±inf logits — none of it may panic, and everything returned
+//! must be finite and deduplicated.
+
+use proptest::prelude::*;
+
+use quantmcu_data::detection::{decode, nms, BBox, Detection};
+use quantmcu_models::DetectionSpec;
+use quantmcu_tensor::{Shape, Tensor};
+
+/// The fixed decode geometry the logit fuzzing runs against.
+const DET: DetectionSpec = DetectionSpec { grid_h: 2, grid_w: 2, anchors: 2, classes: 3 };
+
+/// Non-finite specials injected into otherwise-ordinary logit maps.
+const SPECIALS: [f32; 4] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, f32::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary (possibly inverted or degenerate) finite boxes, IoU
+    /// is finite, within `[0, 1]`, and exactly symmetric.
+    #[test]
+    fn iou_is_finite_unit_ranged_and_symmetric(
+        ax0 in -1.0f32..2.0, ay0 in -1.0f32..2.0, ax1 in -1.0f32..2.0, ay1 in -1.0f32..2.0,
+        bx0 in -1.0f32..2.0, by0 in -1.0f32..2.0, bx1 in -1.0f32..2.0, by1 in -1.0f32..2.0,
+    ) {
+        let a = BBox { x0: ax0, y0: ay0, x1: ax1, y1: ay1 };
+        let b = BBox { x0: bx0, y0: by0, x1: bx1, y1: by1 };
+        let iou = a.iou(&b);
+        prop_assert!(iou.is_finite(), "iou not finite: {iou}");
+        prop_assert!((0.0..=1.0).contains(&iou), "iou out of range: {iou}");
+        prop_assert_eq!(iou.to_bits(), b.iou(&a).to_bits());
+        prop_assert_eq!(a.area().is_finite() && b.area().is_finite(), true);
+    }
+
+    /// A zero-area box (collapsed edge) or an inverted box never
+    /// overlaps anything — IoU is exactly zero against any box,
+    /// including itself.
+    #[test]
+    fn zero_area_and_inverted_boxes_have_zero_iou(
+        x0 in -1.0f32..2.0, y0 in -1.0f32..2.0, w in 0.0f32..1.0, h in 0.0f32..1.0,
+        ox0 in -1.0f32..2.0, oy0 in -1.0f32..2.0, ow in -1.0f32..1.0, oh in -1.0f32..1.0,
+        collapse_x in 0usize..2,
+    ) {
+        let other = BBox { x0: ox0, y0: oy0, x1: ox0 + ow, y1: oy0 + oh };
+        let degenerate = if collapse_x == 0 {
+            BBox { x0, y0, x1: x0, y1: y0 + h } // zero width
+        } else {
+            BBox { x0, y0, x1: x0 + w, y1: y0 } // zero height
+        };
+        let inverted = BBox { x0: x0 + w, y0: y0 + h, x1: x0 - 1e-3, y1: y0 - 1e-3 };
+        prop_assert_eq!(degenerate.area(), 0.0);
+        prop_assert_eq!(inverted.area(), 0.0);
+        for bad in [degenerate, inverted] {
+            prop_assert_eq!(bad.iou(&other), 0.0);
+            prop_assert_eq!(other.iou(&bad), 0.0);
+            prop_assert_eq!(bad.iou(&bad), 0.0);
+        }
+    }
+
+    /// `decode` over logit maps salted with NaN/±inf/MAX must not panic,
+    /// and every surviving detection is finite: score in
+    /// `[threshold, 1]`, box inside the unit square with ordered
+    /// corners. Running `nms` on top yields a per-class deduplicated
+    /// set.
+    #[test]
+    fn decode_with_nonfinite_logits_yields_finite_deduplicated_detections(
+        base in prop::collection::vec(-20.0f32..20.0, 64),
+        positions in prop::collection::vec(0usize..64, 0..24),
+        kinds in prop::collection::vec(0usize..4, 24),
+        threshold in 0.01f32..0.5,
+    ) {
+        let shape = Shape::hwc(DET.grid_h, DET.grid_w, DET.channels());
+        assert_eq!(shape.len(), 64, "fixture shape drifted from the strategy size");
+        let mut values = base;
+        for (&pos, &kind) in positions.iter().zip(&kinds) {
+            values[pos] = SPECIALS[kind];
+        }
+        let output = Tensor::from_fn(shape, |i| values[i]);
+        let detections = decode(&output, &DET, threshold);
+        for d in &detections {
+            prop_assert!(d.score.is_finite(), "non-finite score {}", d.score);
+            prop_assert!(d.score >= threshold && d.score <= 1.0 + 1e-6, "score {}", d.score);
+            for v in [d.bbox.x0, d.bbox.y0, d.bbox.x1, d.bbox.y1] {
+                prop_assert!(v.is_finite() && (0.0..=1.0).contains(&v), "box coord {v}");
+            }
+            prop_assert!(d.bbox.x0 <= d.bbox.x1 && d.bbox.y0 <= d.bbox.y1, "inverted box");
+            prop_assert!(d.class < DET.classes);
+        }
+        let kept = nms(detections.clone(), 0.5);
+        prop_assert!(kept.len() <= detections.len());
+        for (i, a) in kept.iter().enumerate() {
+            for b in &kept[i + 1..] {
+                prop_assert!(
+                    a.class != b.class || a.bbox.iou(&b.bbox) <= 0.5,
+                    "nms kept same-class duplicates"
+                );
+            }
+        }
+    }
+
+    /// `nms` keeps a subset, ordered by descending score, with no
+    /// same-class pair above the IoU threshold — for arbitrary box
+    /// soups.
+    #[test]
+    fn nms_output_is_a_deduplicated_score_ordered_subset(
+        xs in prop::collection::vec(0.0f32..1.0, 30),
+        ys in prop::collection::vec(0.0f32..1.0, 30),
+        ws in prop::collection::vec(0.01f32..0.6, 30),
+        hs in prop::collection::vec(0.01f32..0.6, 30),
+        classes in prop::collection::vec(0usize..3, 30),
+        scores in prop::collection::vec(0.0f32..1.0, 30),
+        count in 0usize..=30,
+        threshold in 0.1f32..0.9,
+    ) {
+        let detections: Vec<Detection> = (0..count)
+            .map(|i| Detection {
+                bbox: BBox {
+                    x0: xs[i],
+                    y0: ys[i],
+                    x1: (xs[i] + ws[i]).min(1.0),
+                    y1: (ys[i] + hs[i]).min(1.0),
+                },
+                class: classes[i],
+                score: scores[i],
+            })
+            .collect();
+        let kept = nms(detections.clone(), threshold);
+        prop_assert!(kept.len() <= detections.len());
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score, "nms output not score-ordered");
+        }
+        for (i, a) in kept.iter().enumerate() {
+            prop_assert!(detections.contains(a), "nms invented a detection");
+            for b in &kept[i + 1..] {
+                prop_assert!(
+                    a.class != b.class || a.bbox.iou(&b.bbox) <= threshold,
+                    "same-class pair above the IoU threshold survived"
+                );
+            }
+        }
+    }
+}
+
+/// An all-NaN logit map decodes to no detections at any positive
+/// threshold (every score is poisoned) — and still does not panic at
+/// threshold zero.
+#[test]
+fn all_nan_logits_decode_to_nothing() {
+    let shape = Shape::hwc(DET.grid_h, DET.grid_w, DET.channels());
+    let output = Tensor::from_fn(shape, |_| f32::NAN);
+    assert!(decode(&output, &DET, 0.05).is_empty());
+    for d in decode(&output, &DET, 0.0) {
+        assert!(d.score.is_finite());
+    }
+}
+
+/// All-`-inf` class logits give a uniform zero softmax numerator; the
+/// decoder must stay finite rather than divide 0 by 0.
+#[test]
+fn negative_infinity_logits_stay_finite() {
+    let shape = Shape::hwc(DET.grid_h, DET.grid_w, DET.channels());
+    let output = Tensor::from_fn(shape, |_| f32::NEG_INFINITY);
+    for d in decode(&output, &DET, 0.0) {
+        assert!(d.score.is_finite());
+        assert!(d.bbox.area().is_finite());
+    }
+}

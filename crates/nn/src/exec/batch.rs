@@ -17,6 +17,14 @@
 //! entry point shared artifacts outside this crate (notably
 //! `quantmcu::Deployment`, which pairs one `Arc`-shared deployment with
 //! one session per worker) drive their batches through.
+//!
+//! Everything here is *scoped*: threads live for one call, which keeps
+//! borrows easy and is the right shape for one-shot fan-out. When the
+//! same per-worker states should persist across many calls — a serving
+//! runtime keeping warm sessions alive — use the persistent
+//! [`WorkerPool`](crate::exec::pool::WorkerPool) instead; its
+//! [`map`](crate::exec::pool::WorkerPool::map) is the pooled twin of
+//! [`par_map_states`] with the identical ordered-results contract.
 
 use std::borrow::Borrow;
 use std::thread;

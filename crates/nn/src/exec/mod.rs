@@ -8,7 +8,10 @@
 //! in-flight inference needs. One compiled graph plus N states executes
 //! on N threads at once; the [`batch`] module provides the scoped-thread
 //! drivers ([`batch::run_batch`], [`batch::run_batch_quant`],
-//! [`batch::stream_chunks`]) with deterministic, input-ordered results.
+//! [`batch::stream_chunks`]) with deterministic, input-ordered results,
+//! and the [`pool`] module provides [`WorkerPool`] — the persistent
+//! counterpart (long-lived workers, bounded micro-batching queue) that
+//! serving runtimes keep warm across calls.
 //!
 //! All execution dispatches into the shared op-kernel layer in
 //! [`crate::kernels`] — one cache-blocked loop nest per operator, generic
@@ -36,8 +39,10 @@
 pub mod batch;
 mod compile;
 mod float;
+pub mod pool;
 mod quantized;
 
 pub use compile::{CompiledGraph, ExecState};
 pub use float::FloatExecutor;
+pub use pool::{PoolError, PoolJob, WorkerPool};
 pub use quantized::{calibrate_ranges, QuantExecutor};

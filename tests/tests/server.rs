@@ -1,0 +1,235 @@
+//! The serving-runtime concurrency suite: `quantmcu::Server` must keep
+//! its three promises under real thread interleavings —
+//!
+//! 1. **Determinism**: outputs bit-identical to a serial `Session::run`
+//!    for every worker count and `max_batch` (the stress test),
+//! 2. **Liveness**: `shutdown()` and plain `Drop` drain queued requests
+//!    without deadlock or lost tickets (watchdog-guarded),
+//! 3. **Backpressure**: a full bounded queue rejects `try_submit` with
+//!    the typed `ServeError::QueueFull` without dropping accepted work.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use quantmcu::models::Model;
+use quantmcu::tensor::Tensor;
+use quantmcu::{Deployment, Engine, Error, ServeError, Server, SramBudget};
+use quantmcu_integration::{calib, eval, graph};
+
+/// Any hang in a concurrency test must fail CI, not wedge it: `f` runs
+/// on its own thread and the calling test panics if it does not finish
+/// within `seconds`. (The stuck thread is leaked; the test harness still
+/// exits.)
+fn with_watchdog<T, F>(label: &str, seconds: u64, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(seconds)) {
+        Ok(value) => {
+            handle.join().expect("watchdogged test body panicked");
+            value
+        }
+        Err(_) => panic!("watchdog: `{label}` did not finish within {seconds}s (deadlock?)"),
+    }
+}
+
+fn deployment() -> Arc<Deployment> {
+    let engine =
+        Engine::builder(graph(Model::MobileNetV2)).sram_budget(SramBudget::kib(16)).build();
+    let plan = engine.plan(calib(6)).unwrap();
+    Arc::new(engine.deploy(plan).unwrap())
+}
+
+/// Serial reference outputs for `inputs`, from one warm session.
+fn serial(dep: &Deployment, inputs: &[Tensor]) -> Vec<Tensor> {
+    dep.session().run_batch(inputs).unwrap()
+}
+
+/// The tentpole contract: N producer threads × M requests each through
+/// one `Server`, for worker counts {1, 2, 8} × `max_batch` {1, 4} —
+/// every response bit-identical to the serial session's output for that
+/// input, regardless of interleaving.
+#[test]
+fn stress_outputs_are_bit_identical_to_serial_for_all_configs() {
+    const PRODUCERS: usize = 3;
+    const REQUESTS: usize = 4;
+    with_watchdog("stress parity", 300, || {
+        let dep = deployment();
+        let inputs = eval(8);
+        let expected = serial(&dep, &inputs);
+        for workers in [1usize, 2, 8] {
+            for max_batch in [1usize, 4] {
+                let server = Server::builder(Arc::clone(&dep))
+                    .workers(workers)
+                    .max_batch(max_batch)
+                    .queue_capacity(4)
+                    .build();
+                thread::scope(|scope| {
+                    for producer in 0..PRODUCERS {
+                        let (server, inputs, expected) = (&server, &inputs, &expected);
+                        scope.spawn(move || {
+                            // Each producer walks the input set from its own
+                            // offset, so requests interleave across producers.
+                            let picks: Vec<usize> =
+                                (0..REQUESTS).map(|j| (producer * 3 + j) % inputs.len()).collect();
+                            let tickets: Vec<_> = picks
+                                .iter()
+                                .map(|&i| server.submit(&inputs[i]).expect("submit"))
+                                .collect();
+                            for (&i, ticket) in picks.iter().zip(tickets) {
+                                let output = ticket.wait().expect("inference");
+                                assert_eq!(
+                                    output, expected[i],
+                                    "workers {workers} max_batch {max_batch}: request for input \
+                                     {i} diverged from serial"
+                                );
+                            }
+                        });
+                    }
+                });
+                let stats = server.shutdown();
+                assert_eq!(stats.accepted, (PRODUCERS * REQUESTS) as u64);
+                assert_eq!(stats.completed, (PRODUCERS * REQUESTS) as u64);
+                assert_eq!(stats.failed, 0);
+                assert_eq!(stats.queue_depth, 0);
+            }
+        }
+    });
+}
+
+/// `Server::run_batch` (queue-paced) matches the scoped
+/// `Deployment::run_batch` and the serial session, in input order.
+#[test]
+fn run_batch_matches_scoped_and_serial_paths() {
+    with_watchdog("run_batch parity", 300, || {
+        let dep = deployment();
+        let inputs = eval(9);
+        let expected = serial(&dep, &inputs);
+        assert_eq!(dep.run_batch(&inputs, 4).unwrap(), expected);
+        for workers in [1usize, 2] {
+            let server = Server::builder(Arc::clone(&dep)).workers(workers).max_batch(4).build();
+            assert_eq!(server.run_batch(&inputs).unwrap(), expected, "workers {workers}");
+            server.shutdown();
+        }
+    });
+}
+
+/// `shutdown()` with requests still queued drains every one of them —
+/// no deadlock, no lost tickets.
+#[test]
+fn shutdown_drains_queued_requests_without_losing_tickets() {
+    with_watchdog("shutdown drain", 120, || {
+        let dep = deployment();
+        let inputs = eval(2);
+        let server = Server::builder(dep).workers(2).max_batch(4).queue_capacity(16).build();
+        let tickets: Vec<_> = (0..12).map(|i| server.submit(&inputs[i % 2]).unwrap()).collect();
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 12);
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.queue_depth, 0);
+        for ticket in tickets {
+            ticket.wait().expect("a drained request lost its result");
+        }
+    });
+}
+
+/// Plain `Drop` must behave like `shutdown()`: queued requests drain and
+/// their tickets resolve.
+#[test]
+fn drop_drains_queued_requests_without_losing_tickets() {
+    with_watchdog("drop drain", 120, || {
+        let dep = deployment();
+        let inputs = eval(2);
+        let server = Server::builder(dep).workers(1).max_batch(2).queue_capacity(16).build();
+        let tickets: Vec<_> = (0..8).map(|i| server.submit(&inputs[i % 2]).unwrap()).collect();
+        drop(server);
+        for ticket in tickets {
+            ticket.wait().expect("a request queued at drop lost its result");
+        }
+    });
+}
+
+/// A capacity-`k` queue with busy workers makes `try_submit` return the
+/// typed `QueueFull` without panicking — and everything accepted before
+/// the rejection still completes.
+#[test]
+fn try_submit_reports_queue_full_and_keeps_accepted_work() {
+    with_watchdog("backpressure", 120, || {
+        let dep = deployment();
+        let input = eval(1).remove(0);
+        let expected = serial(&dep, std::slice::from_ref(&input)).remove(0);
+        let server = Server::builder(dep).workers(1).max_batch(1).queue_capacity(2).build();
+        // Submission is microseconds, one inference is milliseconds: the
+        // lone worker cannot keep pace, so the capacity-2 queue must
+        // report Full within a handful of attempts.
+        let mut accepted = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..256 {
+            match server.try_submit(&input) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(e) => {
+                    assert!(
+                        matches!(e, Error::Serve(ServeError::QueueFull)),
+                        "expected QueueFull, got {e}"
+                    );
+                    saw_full = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_full, "a capacity-2 queue with a busy worker never reported QueueFull");
+        let stats_mid = server.stats();
+        assert!(stats_mid.rejected >= 1);
+        for ticket in accepted {
+            assert_eq!(ticket.wait().expect("accepted request"), expected);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, stats.completed, "accepted work was dropped");
+        assert_eq!(stats.failed, 0);
+    });
+}
+
+/// Stats telemetry is coherent once the server has quiesced.
+#[test]
+fn stats_are_coherent_after_shutdown() {
+    let dep = deployment();
+    let inputs = eval(3);
+    let server = Server::builder(dep).workers(2).max_batch(2).build();
+    for input in &inputs {
+        server.submit(input).unwrap().wait().unwrap();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.max_batch, 2);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.latency_p50 > Duration::ZERO, "latency histogram recorded nothing");
+    assert!(stats.latency_p50 <= stats.latency_p99);
+}
+
+/// Shape errors surface through the ticket, not as poisoned workers: the
+/// server keeps serving afterwards.
+#[test]
+fn bad_inputs_fail_their_ticket_and_leave_the_server_healthy() {
+    let dep = deployment();
+    let good = eval(1).remove(0);
+    let expected = serial(&dep, std::slice::from_ref(&good)).remove(0);
+    let bad = Tensor::zeros(quantmcu::tensor::Shape::hwc(5, 5, 3));
+    let server = Server::builder(dep).workers(1).build();
+    let err = server.submit(&bad).unwrap().wait().unwrap_err();
+    assert!(matches!(err, Error::Patch(_)), "expected a patch shape error, got {err}");
+    assert_eq!(server.submit(&good).unwrap().wait().unwrap(), expected);
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+}
