@@ -97,10 +97,10 @@ fn main() {
         let throughput = batch as f64 / time.as_secs_f64();
         println!(
             "  workers = {workers}, max_batch = {max_batch}: {:8.1} ms  {throughput:7.1} img/s  \
-             vs scoped serial {vs_scoped:4.2}x  p50 {:?}  p99 {:?}  bit-identical: {identical}",
+             vs scoped serial {vs_scoped:4.2}x  p50 {}  p99 {}  bit-identical: {identical}",
             time.as_secs_f64() * 1e3,
-            stats.latency_p50,
-            stats.latency_p99,
+            stats.latency_p50.map_or("n/a".into(), |d| format!("{d:?}")),
+            stats.latency_p99.map_or("n/a".into(), |d| format!("{d:?}")),
         );
         assert!(identical, "server ({workers} workers, max_batch {max_batch}) changed outputs");
         server_rows.push(format!(
@@ -108,8 +108,8 @@ fn main() {
              \"images_per_second\": {throughput:.2}, \"vs_scoped_serial\": {vs_scoped:.4}, \
              \"latency_p50_us\": {}, \"latency_p99_us\": {}, \"bit_identical\": {identical}}}",
             time.as_secs_f64(),
-            stats.latency_p50.as_micros(),
-            stats.latency_p99.as_micros(),
+            stats.latency_p50.map_or(0, |d| d.as_micros()),
+            stats.latency_p99.map_or(0, |d| d.as_micros()),
         ));
     }
 

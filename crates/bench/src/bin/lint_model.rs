@@ -1,0 +1,92 @@
+//! `lint_model` — static-analysis gate over the model zoo.
+//!
+//! Runs the multi-pass analyzer (`quantmcu::nn::analyze`) over every
+//! zoo model at both exec scale and paper scale, with the SRAM budget
+//! each scale is expected to serve under. Diagnostics are treated as
+//! errors: any warning- or error-severity finding fails the run, so CI
+//! catches a zoo model that regresses (dead nodes, shape breaks,
+//! overflowable accumulators, infeasible memory) before a plan runs.
+//!
+//! Usage: `lint_model [model-name ...]` — with no arguments every model
+//! is linted; names filter the zoo (case-insensitive substring match).
+
+use std::process::ExitCode;
+
+use quantmcu::models::{Model, ModelConfig};
+use quantmcu::nn::analyze::{analyze_spec, AnalyzeOptions, Severity};
+
+/// Budget for exec-scale specs: matches the serving default so the lint
+/// proves the whole zoo is plannable out of the box.
+const EXEC_SCALE_SRAM: usize = 256 * 1024;
+
+/// Budget for paper-scale specs: generous (off-MCU) bound — the lint
+/// checks the graphs are well-formed and overflow-safe at full
+/// resolution, not that they fit a particular device.
+const PAPER_SCALE_SRAM: usize = 32 * 1024 * 1024;
+
+fn main() -> ExitCode {
+    let filters: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let selected: Vec<Model> = Model::ALL
+        .into_iter()
+        .filter(|m| {
+            filters.is_empty() || filters.iter().any(|f| m.name().to_lowercase().contains(f))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("lint_model: no zoo model matches {filters:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for model in &selected {
+        for (scale, cfg, sram) in [
+            ("exec", ModelConfig::exec_scale(), EXEC_SCALE_SRAM),
+            ("paper", model.mcu_scale(PAPER_SCALE_SRAM / 1024, 1000), PAPER_SCALE_SRAM),
+        ] {
+            failures += lint(*model, scale, cfg, sram);
+        }
+    }
+
+    if failures == 0 {
+        println!("lint_model: {} model(s) clean", selected.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint_model: {failures} spec(s) with findings");
+        ExitCode::FAILURE
+    }
+}
+
+/// Lints one (model, scale) pair; returns 1 on findings, 0 when clean.
+fn lint(model: Model, scale: &str, cfg: ModelConfig, sram: usize) -> usize {
+    let spec = match model.spec(cfg) {
+        Ok(spec) => spec,
+        Err(e) => {
+            println!("FAIL  {:<16} {:<5} spec construction: {e}", model.name(), scale);
+            return 1;
+        }
+    };
+    let opts = AnalyzeOptions { sram_budget: Some(sram), ..AnalyzeOptions::default() };
+    let report = analyze_spec(&spec, &opts);
+    // Diagnostics-as-errors: warnings fail the lint too; info-level
+    // notes (e.g. M002 "patching required") are expected and reported
+    // but do not fail.
+    let findings: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.severity >= Severity::Warning).collect();
+    if findings.is_empty() {
+        let notes = report.len();
+        println!(
+            "ok    {:<16} {:<5} {} node(s){}",
+            model.name(),
+            scale,
+            spec.len(),
+            if notes > 0 { format!(", {notes} note(s)") } else { String::new() }
+        );
+        0
+    } else {
+        println!("FAIL  {:<16} {:<5} {} finding(s)", model.name(), scale, findings.len());
+        for d in findings {
+            println!("      {d}");
+        }
+        1
+    }
+}

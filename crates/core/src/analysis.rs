@@ -1,0 +1,151 @@
+//! The engine-level façade over the static analyzer
+//! ([`quantmcu_nn::analyze`]).
+//!
+//! [`analyze`] runs every pass — structure, shape inference, accumulator
+//! overflow, SRAM feasibility — against an engine-style configuration and
+//! returns the full diagnostic [`Report`]. [`Engine::plan`],
+//! [`Engine::plan_uniform`] and [`Engine::deploy`] run the same analysis
+//! in *strict* mode: any `Error`-severity diagnostic aborts with
+//! [`crate::Error::Analysis`] before calibration or compilation starts.
+//!
+//! [`Engine::plan`]: crate::Engine::plan
+//! [`Engine::plan_uniform`]: crate::Engine::plan_uniform
+//! [`Engine::deploy`]: crate::Engine::deploy
+
+use quantmcu_nn::analyze::{analyze_spec, AnalyzeOptions, Report};
+use quantmcu_nn::Graph;
+use quantmcu_tensor::Bitwidth;
+
+use crate::config::QuantMcuConfig;
+use crate::engine::SramBudget;
+
+/// What [`analyze`] assumes about the deployment it is vetting.
+///
+/// The default matches the paper's search space (8-bit worst-case
+/// activations and weights, 2-bit as the narrowest candidate) with no
+/// SRAM constraint; [`AnalysisConfig::for_engine`] derives the strict
+/// configuration an [`crate::Engine`] gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Widest activation bitwidth a plan may assign; the overflow pass
+    /// bounds accumulators at this worst case.
+    pub act_bits: Bitwidth,
+    /// The deployed weight bitwidth.
+    pub weight_bits: Bitwidth,
+    /// Narrowest candidate width available to the search; the SRAM pass
+    /// bounds memory at this most-optimistic width, so it never rejects a
+    /// graph the planner could still fit.
+    pub narrowest_bits: Bitwidth,
+    /// Device SRAM budget; `None` skips the feasibility pass.
+    pub sram_budget: Option<SramBudget>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        let opts = AnalyzeOptions::default();
+        AnalysisConfig {
+            act_bits: opts.act_bits,
+            weight_bits: opts.weight_bits,
+            narrowest_bits: opts.narrowest_bits,
+            sram_budget: None,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The strict configuration an engine checks before planning: the
+    /// engine's weight bitwidth and SRAM budget, worst-case 8-bit
+    /// activations, and the narrowest search candidate for the memory
+    /// bound.
+    pub fn for_engine(cfg: &QuantMcuConfig, budget: SramBudget) -> Self {
+        AnalysisConfig {
+            weight_bits: cfg.weight_bits,
+            sram_budget: Some(budget),
+            ..AnalysisConfig::default()
+        }
+    }
+
+    fn options(&self) -> AnalyzeOptions {
+        AnalyzeOptions {
+            act_bits: self.act_bits,
+            weight_bits: self.weight_bits,
+            narrowest_bits: self.narrowest_bits,
+            sram_budget: self.sram_budget.map(SramBudget::bytes),
+        }
+    }
+}
+
+/// Runs the full static analysis over a graph and returns every
+/// diagnostic found — the public front door to the analyzer.
+///
+/// Analysis needs only the graph's *spec* (no weights are read), so it is
+/// cheap enough to run on paper-scale networks before any calibration.
+///
+/// # Example
+///
+/// ```
+/// use quantmcu::{analyze, AnalysisConfig, SramBudget};
+/// use quantmcu::models::{Model, ModelConfig};
+/// use quantmcu::nn::init;
+///
+/// let spec = Model::MobileNetV2.spec(ModelConfig::exec_scale())?;
+/// let graph = init::with_structured_weights(spec, 42);
+///
+/// // The zoo model is clean under a generous budget…
+/// let cfg = AnalysisConfig { sram_budget: Some(SramBudget::kib(256)), ..Default::default() };
+/// assert!(!analyze(&graph, &cfg).has_errors());
+///
+/// // …but an 8-byte budget is provably infeasible, and the report says
+/// // where the peak is and what the best patch split would still need.
+/// let tiny = AnalysisConfig { sram_budget: Some(SramBudget::new(8)), ..Default::default() };
+/// let report = analyze(&graph, &tiny);
+/// assert!(report.has_errors());
+/// assert!(report.to_string().contains("M001"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(graph: &Graph, config: &AnalysisConfig) -> Report {
+    analyze_spec(graph.spec(), &config.options())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quantmcu_nn::analyze::Code;
+    use quantmcu_nn::{init, GraphSpecBuilder};
+    use quantmcu_tensor::Shape;
+
+    fn graph() -> Graph {
+        let spec = GraphSpecBuilder::new(Shape::hwc(16, 16, 3))
+            .conv2d(8, 3, 2, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(4)
+            .build()
+            .unwrap();
+        init::with_structured_weights(spec, 9)
+    }
+
+    #[test]
+    fn engine_config_inherits_weight_bits_and_budget() {
+        let mut cfg = QuantMcuConfig::paper();
+        cfg.weight_bits = Bitwidth::W4;
+        let a = AnalysisConfig::for_engine(&cfg, SramBudget::kib(64));
+        assert_eq!(a.weight_bits, Bitwidth::W4);
+        assert_eq!(a.sram_budget, Some(SramBudget::kib(64)));
+        assert_eq!(a.act_bits, Bitwidth::W8);
+    }
+
+    #[test]
+    fn clean_graph_analyzes_clean() {
+        let r = analyze(&graph(), &AnalysisConfig::default());
+        assert!(r.is_empty(), "unexpected: {r}");
+    }
+
+    #[test]
+    fn tiny_budget_is_flagged() {
+        let cfg =
+            AnalysisConfig { sram_budget: Some(SramBudget::new(8)), ..AnalysisConfig::default() };
+        let r = analyze(&graph(), &cfg);
+        assert!(r.has_code(Code::InfeasibleSram));
+    }
+}

@@ -10,6 +10,7 @@ use quantmcu_mcusim::Device;
 use quantmcu_nn::Graph;
 use quantmcu_tensor::Bitwidth;
 
+use crate::analysis::AnalysisConfig;
 use crate::calibration::CalibrationSource;
 use crate::config::QuantMcuConfig;
 use crate::deploy::Deployment;
@@ -168,13 +169,16 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Plan`] for an empty calibration set, an
-    /// unsplittable graph, or an infeasible budget (Eq. 7 unsatisfiable
-    /// even at the narrowest candidates).
+    /// Returns [`Error::Analysis`] when the static analyzer rejects the
+    /// graph or proves the budget infeasible — before any calibration
+    /// work runs — and [`Error::Plan`] for an empty calibration set, an
+    /// unsplittable graph, or a budget the search cannot satisfy (Eq. 7
+    /// unsatisfiable even at the narrowest candidates).
     pub fn plan<'a>(
         &self,
         calibration: impl CalibrationSource<'a>,
     ) -> Result<DeploymentPlan, Error> {
+        self.verify()?;
         let images = calibration.into_images();
         Ok(Planner::new(self.cfg.clone()).plan(&self.graph, &images, self.budget.bytes())?)
     }
@@ -191,6 +195,7 @@ impl Engine {
         calibration: impl CalibrationSource<'a>,
         bits: Bitwidth,
     ) -> Result<DeploymentPlan, Error> {
+        self.verify()?;
         let images = calibration.into_images();
         Ok(Planner::new(self.cfg.clone()).plan_uniform(
             &self.graph,
@@ -206,11 +211,29 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Plan`] when the plan's quantization metadata
+    /// Returns [`Error::Analysis`] when the static analyzer rejects the
+    /// graph, [`Error::Plan`] when the plan's quantization metadata
     /// cannot be materialized (degenerate calibration ranges), or
     /// [`Error::Patch`] when the plan does not fit the graph.
     pub fn deploy(&self, plan: DeploymentPlan) -> Result<Deployment, Error> {
+        self.verify()?;
         Deployment::new(Arc::clone(&self.graph), plan)
+    }
+
+    /// Runs the static analyzer in strict mode against the engine's
+    /// configuration and budget (see [`crate::analyze`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Analysis`] carrying the full diagnostic report
+    /// when any error-severity diagnostic fires.
+    pub fn verify(&self) -> Result<(), Error> {
+        let cfg = AnalysisConfig::for_engine(&self.cfg, self.budget);
+        let report = crate::analysis::analyze(&self.graph, &cfg);
+        if report.has_errors() {
+            return Err(Error::Analysis(report));
+        }
+        Ok(())
     }
 }
 

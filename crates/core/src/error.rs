@@ -42,6 +42,10 @@ pub enum Error {
     /// The serving runtime ([`crate::Server`]) rejected or lost a
     /// request (full queue, shutdown in progress).
     Serve(ServeError),
+    /// The static analyzer rejected the graph before planning started;
+    /// the [`Report`](quantmcu_nn::analyze::Report) lists every
+    /// diagnostic (see [`crate::analyze`]).
+    Analysis(quantmcu_nn::analyze::Report),
 }
 
 impl fmt::Display for Error {
@@ -51,6 +55,13 @@ impl fmt::Display for Error {
             Error::Graph(e) => write!(f, "graph execution failed: {e}"),
             Error::Patch(e) => write!(f, "patch execution failed: {e}"),
             Error::Serve(e) => write!(f, "serving failed: {e}"),
+            Error::Analysis(report) => {
+                write!(f, "static analysis failed: {} error(s)", report.errors().count())?;
+                if let Some(first) = report.errors().next() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -62,6 +73,7 @@ impl std::error::Error for Error {
             Error::Graph(e) => Some(e),
             Error::Patch(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Analysis(report) => Some(report),
         }
     }
 }

@@ -55,6 +55,30 @@
 //! [`ServeError::QueueFull`]) and [`ServerStats`] latency/throughput
 //! telemetry — outputs stay bit-identical to a serial [`Session::run`].
 //!
+//! # Static analysis
+//!
+//! Before any plan runs, the multi-pass static analyzer
+//! ([`quantmcu_nn::analyze`], fronted by [`analyze`]) vets the graph:
+//! structural verification (dangling references, cycles, duplicate ids,
+//! arity, dead nodes — codes `S001`–`S004`, `D001`), full shape
+//! inference (`T001`/`T002`), quantized accumulator-overflow proofs
+//! (`Q001`) and SRAM feasibility against the budget (`M001`/`M002`).
+//! [`Engine::plan`] and [`Engine::deploy`] run it in strict mode — any
+//! error-severity diagnostic aborts with [`Error::Analysis`] before
+//! calibration starts:
+//!
+//! ```
+//! use quantmcu::{analyze, AnalysisConfig, SramBudget};
+//! use quantmcu::nn::{init, GraphSpecBuilder};
+//! use quantmcu::tensor::Shape;
+//!
+//! let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3)).conv2d(4, 3, 1, 1).build()?;
+//! let graph = init::with_structured_weights(spec, 0);
+//! let report = analyze(&graph, &AnalysisConfig::default());
+//! assert!(!report.has_errors());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! The borrow-based [`Planner`] façade
 //! (`Planner::new(cfg).plan(&graph, &images, bytes)`) remains for the
 //! paper-reproduction binaries; it produces the same plans bit for bit.
@@ -65,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analysis;
 mod calibration;
 mod config;
 mod deploy;
@@ -74,6 +99,7 @@ mod pipeline;
 mod plan;
 mod serve;
 
+pub use analysis::{analyze, AnalysisConfig};
 pub use calibration::{CalibrationSource, CalibrationStream, DEFAULT_CALIBRATION_IMAGES};
 pub use config::{default_workers, QuantMcuConfig};
 pub use deploy::{Deployment, Session};

@@ -241,12 +241,12 @@ impl Planner {
         // below is infallible.
         for branch in &branches {
             for (i, region) in branch.regions().iter().enumerate() {
-                let shape = if i == 0 { spec.input_shape() } else { spec.node_shape(i - 1) };
+                let shape = spec.feature_map_shape(quantmcu_nn::FeatureMapId(i));
                 region.check_within(shape.h, shape.w)?;
             }
         }
         let tail_fm_count = tail.feature_map_count();
-        let compiled = CompiledGraph::new(graph);
+        let compiled = CompiledGraph::new(graph)?;
         let workers = batch::effective_workers(self.cfg.workers, calibration.len());
         let mut accs = batch::stream_chunks(
             &compiled,

@@ -116,22 +116,24 @@ impl LatencyHistogram {
     }
 
     /// The upper bound of the smallest bucket whose cumulative count
-    /// reaches quantile `q` (in `[0, 1]`), or zero with no samples.
-    fn quantile(&self, q: f64) -> Duration {
+    /// reaches quantile `q` (in `[0, 1]`), or `None` with no samples —
+    /// an empty histogram has no quantiles, and reporting `0 µs` would
+    /// read as an (impossibly) fast measurement.
+    fn quantile(&self, q: f64) -> Option<Duration> {
         let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
-            return Duration::ZERO;
+            return None;
         }
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cumulative = 0;
         for (i, count) in counts.iter().enumerate() {
             cumulative += count;
             if cumulative >= target {
-                return Duration::from_micros(1u64 << i);
+                return Some(Duration::from_micros(1u64 << i));
             }
         }
-        Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1))
+        Some(Duration::from_micros(1u64 << (LATENCY_BUCKETS - 1)))
     }
 }
 
@@ -187,10 +189,14 @@ pub struct ServerStats {
     pub failed: u64,
     /// Median request latency (queue wait + inference), from a
     /// fixed-bucket histogram: the true quantile rounded up to the next
-    /// power-of-two microsecond bound.
-    pub latency_p50: Duration,
-    /// 99th-percentile request latency, same rounding as `latency_p50`.
-    pub latency_p99: Duration,
+    /// power-of-two microsecond bound. `None` until at least one request
+    /// has completed — an empty histogram has no quantiles, and the old
+    /// `Duration::ZERO` placeholder was indistinguishable from a real
+    /// sub-microsecond measurement.
+    pub latency_p50: Option<Duration>,
+    /// 99th-percentile request latency, same rounding and `None`
+    /// semantics as `latency_p50`.
+    pub latency_p99: Option<Duration>,
 }
 
 /// A one-shot handle to one submitted request's result.
@@ -310,7 +316,7 @@ impl ServerBuilder {
 ///
 /// let stats = server.shutdown(); // drains the queue, joins the workers
 /// assert_eq!(stats.completed, 6);
-/// assert!(stats.latency_p50 <= stats.latency_p99);
+/// assert!(stats.latency_p50.unwrap() <= stats.latency_p99.unwrap());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -488,15 +494,15 @@ mod tests {
     #[test]
     fn histogram_quantiles_bracket_the_samples() {
         let hist = LatencyHistogram::new();
-        assert_eq!(hist.quantile(0.5), Duration::ZERO);
+        assert_eq!(hist.quantile(0.5), None, "no samples, no quantiles");
         for micros in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 900] {
             hist.record(Duration::from_micros(micros));
         }
         // 9 of 10 samples land in the 2–4 µs bucket (upper bound 4 µs),
         // the outlier in the 512–1024 µs bucket (upper bound 1024 µs).
-        assert_eq!(hist.quantile(0.50), Duration::from_micros(4));
-        assert_eq!(hist.quantile(0.90), Duration::from_micros(4));
-        assert_eq!(hist.quantile(0.99), Duration::from_micros(1024));
+        assert_eq!(hist.quantile(0.50), Some(Duration::from_micros(4)));
+        assert_eq!(hist.quantile(0.90), Some(Duration::from_micros(4)));
+        assert_eq!(hist.quantile(0.99), Some(Duration::from_micros(1024)));
     }
 
     #[test]

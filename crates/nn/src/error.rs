@@ -60,6 +60,8 @@ pub enum GraphError {
     },
     /// An underlying tensor operation failed.
     Tensor(TensorError),
+    /// Static analysis rejected the graph ([`crate::analyze`]).
+    Analysis(crate::analyze::Report),
 }
 
 impl fmt::Display for GraphError {
@@ -87,6 +89,13 @@ impl fmt::Display for GraphError {
                 write!(f, "no quantization parameters for feature map {feature_map}")
             }
             GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GraphError::Analysis(report) => {
+                write!(f, "static analysis failed: {} error(s)", report.errors().count())?;
+                if let Some(first) = report.errors().next() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -95,6 +104,7 @@ impl Error for GraphError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             GraphError::Tensor(e) => Some(e),
+            GraphError::Analysis(report) => Some(report),
             _ => None,
         }
     }

@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn batch_outputs_are_input_order_for_any_worker_count() {
         let g = graph();
-        let compiled = CompiledGraph::new(&g);
+        let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
         let xs = inputs(7);
         let serial = run_batch(&compiled, &xs, 1).unwrap();
         for workers in [2, 3, 4, 16] {
@@ -266,14 +266,14 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let g = graph();
-        let compiled = CompiledGraph::new(&g);
+        let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
         assert!(run_batch(&compiled, &[], 4).unwrap().is_empty());
     }
 
     #[test]
     fn batch_propagates_input_shape_errors() {
         let g = graph();
-        let compiled = CompiledGraph::new(&g);
+        let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
         let mut xs = inputs(3);
         xs[1] = Tensor::zeros(Shape::hwc(5, 5, 3));
         assert!(matches!(run_batch(&compiled, &xs, 2), Err(GraphError::InputShapeMismatch { .. })));
@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn stream_chunks_concatenates_to_serial_order() {
         let g = graph();
-        let compiled = CompiledGraph::new(&g);
+        let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
         let xs = inputs(6);
         let fold = |workers: usize| -> Vec<f32> {
             let accs =

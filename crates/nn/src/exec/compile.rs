@@ -44,7 +44,7 @@ use crate::spec::{FeatureMapId, GraphSpec, OpSpec, Source};
 ///
 /// let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).relu6().build()?;
 /// let graph = init::with_structured_weights(spec, 0);
-/// let compiled = CompiledGraph::new(&graph);
+/// let compiled = CompiledGraph::new(&graph)?;
 /// let mut state = ExecState::new();
 /// let out = compiled.run_float(&mut state, &Tensor::full(Shape::hwc(4, 4, 1), 9.0))?;
 /// assert!(out.data().iter().all(|&v| v == 6.0));
@@ -79,11 +79,23 @@ struct QuantTables {
 }
 
 impl<G: Borrow<Graph>> CompiledGraph<G> {
-    /// Compiles `graph` for float execution: derives the feature-map
-    /// liveness schedule from [`GraphSpec::consumers_of`].
-    pub fn new(graph: G) -> Self {
+    /// Compiles `graph` for float execution: runs the static analyzer in
+    /// strict mode ([`crate::analyze::verify_spec`]) and derives the
+    /// feature-map liveness schedule from [`GraphSpec::consumers_of`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Analysis`] when the analyzer finds a
+    /// structural or shape error. A [`GraphSpec`] that came out of
+    /// [`GraphSpec::new`] always passes; the gate exists for graphs that
+    /// arrive through less-validated paths (e.g. a future importer).
+    pub fn new(graph: G) -> Result<Self, GraphError> {
+        let report = crate::analyze::verify_spec(graph.borrow().spec());
+        if report.has_errors() {
+            return Err(GraphError::Analysis(report));
+        }
         let release_after = release_schedule(graph.borrow().spec());
-        CompiledGraph { graph, release_after, quant: None }
+        Ok(CompiledGraph { graph, release_after, quant: None })
     }
 
     /// Compiles `graph` for both float and integer execution: on top of
@@ -99,13 +111,39 @@ impl<G: Borrow<Graph>> CompiledGraph<G> {
     ///
     /// Returns [`GraphError::MissingQuantization`] when `ranges` or
     /// `act_bits` do not have one entry per feature map, or when a range
-    /// is degenerate.
+    /// is degenerate, and [`GraphError::Analysis`] when the analyzer
+    /// rejects the graph or proves a deployed `i32` accumulator could
+    /// overflow at the assigned bitwidths (so the integer kernels never
+    /// need a runtime check).
     pub fn with_quantization(
         graph: G,
         ranges: &[(f32, f32)],
         act_bits: &[Bitwidth],
         weight_bits: Bitwidth,
     ) -> Result<Self, GraphError> {
+        let spec = graph.borrow().spec();
+        let mut report = crate::analyze::verify_spec(spec);
+        if act_bits.len() == spec.feature_map_count() {
+            for (i, node) in spec.nodes().iter().enumerate() {
+                if !node.op.has_weights() {
+                    continue;
+                }
+                let in_fm = source_fm(node.inputs[0]);
+                let in_shape = spec.feature_map_shape(FeatureMapId(in_fm));
+                if let Some(d) = crate::analyze::overflow_diagnostic(
+                    i,
+                    node.op,
+                    in_shape,
+                    act_bits[in_fm],
+                    weight_bits,
+                ) {
+                    report.push(d);
+                }
+            }
+        }
+        if report.has_errors() {
+            return Err(GraphError::Analysis(report));
+        }
         let quant = QuantTables::build(graph.borrow(), ranges, act_bits, weight_bits)?;
         let release_after = release_schedule(graph.borrow().spec());
         Ok(CompiledGraph { graph, release_after, quant: Some(quant) })
@@ -264,7 +302,8 @@ impl<G: Borrow<Graph>> CompiledGraph<G> {
         let last = spec.feature_map_count() - 1;
         let q = state.qslots[last].as_ref().expect("final feature map is never released early");
         let p = qt.act_params[last];
-        let out = Tensor::from_fn(fm_shape(spec, last), |j| p.dequantize(q[j]));
+        let out =
+            Tensor::from_fn(spec.feature_map_shape(FeatureMapId(last)), |j| p.dequantize(q[j]));
         state.release_all_quant();
         Ok(out)
     }
@@ -315,7 +354,7 @@ impl<G: Borrow<Graph>> CompiledGraph<G> {
             let out_shape = spec.node_shape(i);
             let mut qout = arena_q.take(out_shape.len());
             let in0_fm = source_fm(node.inputs[0]);
-            let in_shape = fm_shape(spec, in0_fm);
+            let in_shape = spec.feature_map_shape(FeatureMapId(in0_fm));
             match node.op {
                 OpSpec::Conv2d { out_ch, kernel, stride, pad } => {
                     let dot = qt.dot(i, in0_fm, out_fm);
@@ -359,7 +398,7 @@ impl<G: Borrow<Graph>> CompiledGraph<G> {
                     // scratch, run the shared float kernel, requantize.
                     for &s in &node.inputs {
                         let fm = source_fm(s);
-                        let shape = fm_shape(spec, fm);
+                        let shape = spec.feature_map_shape(FeatureMapId(fm));
                         let p = qt.act_params[fm];
                         let q = qslots[fm].as_ref().expect("liveness keeps inputs alive");
                         let mut buf = arena_f.take(shape.len());
@@ -702,7 +741,7 @@ fn yield_map(
     fm: usize,
     observer: &mut dyn FnMut(FeatureMapId, &Tensor),
 ) {
-    let shape = fm_shape(spec, fm);
+    let shape = spec.feature_map_shape(FeatureMapId(fm));
     let p = act_params[fm];
     let q = qslots[fm].as_ref().expect("just produced");
     let mut buf = arena_f.take(shape.len());
@@ -741,14 +780,6 @@ fn release_schedule(spec: &GraphSpec) -> Vec<Vec<usize>> {
         }
     }
     release_after
-}
-
-fn fm_shape(spec: &GraphSpec, fm: usize) -> Shape {
-    if fm == 0 {
-        spec.input_shape()
-    } else {
-        spec.node_shape(fm - 1)
-    }
 }
 
 /// Channel grouping of a weighted op's buffer: `(channels, per_channel)`.
@@ -811,10 +842,10 @@ mod tests {
             .unwrap();
         let graph = init::with_structured_weights(spec, 3);
         let input = Tensor::from_fn(Shape::hwc(8, 8, 3), |i| (i as f32 * 0.1).sin());
-        let borrowed = CompiledGraph::new(&graph);
+        let borrowed = CompiledGraph::new(&graph).expect("validated graphs pass analysis");
         let mut state = ExecState::for_graph(&borrowed);
         let a = borrowed.run_float(&mut state, &input).unwrap();
-        let owned = CompiledGraph::new(graph.clone());
+        let owned = CompiledGraph::new(graph.clone()).expect("validated graphs pass analysis");
         let b = owned.run_float(&mut ExecState::new(), &input).unwrap();
         assert_eq!(a, b);
     }
@@ -829,7 +860,7 @@ mod tests {
             .build()
             .unwrap();
         let graph = init::with_structured_weights(spec, 7);
-        let compiled = CompiledGraph::new(&graph);
+        let compiled = CompiledGraph::new(&graph).expect("validated graphs pass analysis");
         let input = Tensor::from_fn(Shape::hwc(6, 6, 2), |i| (i as f32 * 0.2).cos());
         let mut s1 = ExecState::new();
         let mut s2 = ExecState::new();
@@ -842,7 +873,7 @@ mod tests {
     fn run_quant_without_tables_is_an_error() {
         let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 1)).relu6().build().unwrap();
         let graph = init::with_structured_weights(spec, 0);
-        let compiled = CompiledGraph::new(&graph);
+        let compiled = CompiledGraph::new(&graph).expect("validated graphs pass analysis");
         assert!(matches!(
             compiled.run_quant(&mut ExecState::new(), &Tensor::zeros(Shape::hwc(4, 4, 1))),
             Err(GraphError::MissingQuantization { .. })
@@ -853,7 +884,7 @@ mod tests {
     fn run_float_into_reuses_the_output_buffer() {
         let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 2)).conv2d(3, 3, 1, 1).build().unwrap();
         let graph = init::with_structured_weights(spec, 5);
-        let compiled = CompiledGraph::new(&graph);
+        let compiled = CompiledGraph::new(&graph).expect("validated graphs pass analysis");
         let mut state = ExecState::new();
         let input = Tensor::from_fn(Shape::hwc(4, 4, 2), |i| i as f32 * 0.01);
         let expected = compiled.run_float(&mut state, &input).unwrap();

@@ -44,8 +44,15 @@ pub struct FloatExecutor<'g> {
 impl<'g> FloatExecutor<'g> {
     /// Creates an executor over `graph`, compiling the feature-map
     /// liveness schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the static analyzer rejects the graph — impossible for
+    /// a [`Graph`] built from a validated [`crate::GraphSpec`]. Callers
+    /// holding unvalidated graphs should go through
+    /// [`CompiledGraph::new`] and handle the error.
     pub fn new(graph: &'g Graph) -> Self {
-        let compiled = CompiledGraph::new(graph);
+        let compiled = CompiledGraph::new(graph).expect("validated graphs pass analysis");
         let state = ExecState::for_graph(&compiled);
         FloatExecutor { compiled, state }
     }

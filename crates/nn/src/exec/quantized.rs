@@ -296,7 +296,10 @@ mod tests {
     #[test]
     fn from_compiled_requires_quantization_tables() {
         let g = small_graph();
-        assert!(QuantExecutor::from_compiled(CompiledGraph::new(&g)).is_err());
+        assert!(QuantExecutor::from_compiled(
+            CompiledGraph::new(&g).expect("validated graphs pass analysis")
+        )
+        .is_err());
         let inputs = calib_inputs(g.spec().input_shape(), 2);
         let ranges = calibrate_ranges(&g, &inputs).unwrap();
         let compiled = CompiledGraph::with_quantization(

@@ -138,6 +138,9 @@ pub fn conv2d<S: Dot>(
     pad: usize,
     region: Region,
 ) {
+    debug_assert!(k > 0 && stride > 0, "degenerate conv window k={k} stride={stride}");
+    debug_assert!(in_shape.h + 2 * pad >= k && in_shape.w + 2 * pad >= k);
+    debug_assert_eq!(input.len(), in_shape.len(), "input buffer disagrees with in_shape");
     let (oh, ow) = conv_output_hw(in_shape, k, stride, pad);
     let os = Shape::new(in_shape.n, oh, ow, out_ch);
     debug_assert_eq!(out.len(), os.len());
@@ -194,6 +197,9 @@ pub fn dwconv<S: Dot>(
     pad: usize,
     region: Region,
 ) {
+    debug_assert!(k > 0 && stride > 0, "degenerate dwconv window k={k} stride={stride}");
+    debug_assert!(in_shape.h + 2 * pad >= k && in_shape.w + 2 * pad >= k);
+    debug_assert_eq!(input.len(), in_shape.len(), "input buffer disagrees with in_shape");
     let (oh, ow) = conv_output_hw(in_shape, k, stride, pad);
     let c = in_shape.c;
     let os = Shape::new(in_shape.n, oh, ow, c);
@@ -238,6 +244,8 @@ pub fn dwconv<S: Dot>(
 /// so one cached chunk serves the whole output tile.
 pub fn dense<S: Dot>(s: &S, input: &[S::Elem], in_shape: Shape, out: &mut [S::Elem], out_f: usize) {
     let fan_in = in_shape.per_sample();
+    debug_assert!(fan_in > 0 && out_f > 0, "degenerate dense fan_in={fan_in} out={out_f}");
+    debug_assert_eq!(input.len(), in_shape.len(), "input buffer disagrees with in_shape");
     debug_assert_eq!(out.len(), in_shape.n * out_f);
     for n in 0..in_shape.n {
         let sample = &input[n * fan_in..(n + 1) * fan_in];
@@ -296,6 +304,9 @@ fn pool_impl(
     region: Region,
     is_max: bool,
 ) {
+    debug_assert!(k > 0 && stride > 0, "degenerate pool window k={k} stride={stride}");
+    debug_assert!(in_shape.h >= k && in_shape.w >= k, "pool window exceeds the input");
+    debug_assert_eq!(input.len(), in_shape.len(), "input buffer disagrees with in_shape");
     let oh = (in_shape.h - k) / stride + 1;
     let ow = (in_shape.w - k) / stride + 1;
     let c = in_shape.c;
@@ -338,6 +349,8 @@ fn pool_impl(
 /// Global average pooling to `1×1` spatial extent.
 pub fn global_avg_pool(input: &[f32], in_shape: Shape, out: &mut [f32]) {
     let c = in_shape.c;
+    debug_assert!(in_shape.h * in_shape.w > 0, "global pool over an empty map");
+    debug_assert_eq!(input.len(), in_shape.len(), "input buffer disagrees with in_shape");
     debug_assert_eq!(out.len(), in_shape.n * c);
     let inv = 1.0 / (in_shape.h * in_shape.w) as f32;
     for n in 0..in_shape.n {
@@ -359,6 +372,7 @@ pub fn global_avg_pool(input: &[f32], in_shape: Shape, out: &mut [f32]) {
 
 /// Elementwise addition of two same-shape maps over `region`.
 pub fn add(a: &[f32], b: &[f32], shape: Shape, out: &mut [f32], region: Region) {
+    debug_assert!(a.len() == shape.len() && b.len() == shape.len() && out.len() == shape.len());
     for_row_runs(shape, region, |start, len| {
         for ((o, &p), &q) in out[start..start + len]
             .iter_mut()
@@ -373,6 +387,8 @@ pub fn add(a: &[f32], b: &[f32], shape: Shape, out: &mut [f32], region: Region) 
 /// ReLU over `region`: `max(v, 0)` clamped at `hi` when `hi` is finite
 /// (ReLU6 passes `6.0`, plain ReLU `f32::INFINITY`).
 pub fn relu(input: &[f32], shape: Shape, out: &mut [f32], hi: f32, region: Region) {
+    debug_assert!(input.len() == shape.len() && out.len() == shape.len());
+    debug_assert!(!hi.is_nan() && hi > 0.0, "relu upper bound must be positive");
     for_row_runs(shape, region, |start, len| {
         if hi.is_finite() {
             for (o, &v) in out[start..start + len].iter_mut().zip(&input[start..start + len]) {
@@ -400,6 +416,11 @@ pub fn concat<'a>(
     let x_end = region.x_end().min(out_shape.w);
     let mut c_off = 0;
     for (data, s) in parts {
+        debug_assert_eq!(data.len(), s.len(), "part buffer disagrees with its shape");
+        debug_assert!(
+            s.n == out_shape.n && s.h == out_shape.h && s.w == out_shape.w,
+            "concat parts must agree with the output spatially"
+        );
         for n in 0..s.n {
             for y in region.y..y_end {
                 for x in region.x..x_end {

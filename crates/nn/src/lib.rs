@@ -18,6 +18,11 @@
 //! feature map, consumed by both the cost model ([`cost`]) and the
 //! quantized executor.
 //!
+//! Before anything is compiled or planned, the [`analyze`] module runs a
+//! multi-pass static analyzer (structure, shape inference, accumulator
+//! overflow, SRAM feasibility) and reports typed diagnostics; the
+//! executors run it in strict mode via [`exec::CompiledGraph::new`].
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod builder;
 pub mod cost;
 mod error;

@@ -37,7 +37,7 @@ fn inputs(n: usize) -> Vec<Tensor> {
 #[test]
 fn two_workers_sharing_one_compiled_graph_match_serial_bit_for_bit() {
     let g = graph();
-    let compiled = CompiledGraph::new(&g);
+    let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
     let xs = inputs(8);
     // Serial reference through the façade (its own compilation).
     let mut exec = FloatExecutor::new(&g);
@@ -69,7 +69,7 @@ fn two_workers_sharing_one_compiled_graph_match_serial_bit_for_bit() {
 #[test]
 fn float_batch_driver_is_worker_count_invariant() {
     let g = graph();
-    let compiled = CompiledGraph::new(&g);
+    let compiled = CompiledGraph::new(&g).expect("validated graphs pass analysis");
     let xs = inputs(9);
     let serial = batch::run_batch(&compiled, &xs, 1).unwrap();
     for workers in [2, 3, 4, 9, 32] {
@@ -95,7 +95,7 @@ fn arc_owned_compilation_crosses_thread_boundaries() {
     // An owning compilation behind an Arc outlives the borrow of any
     // particular stack frame — the shape a long-lived inference service
     // would use with non-scoped worker threads.
-    let compiled = Arc::new(CompiledGraph::new(graph()));
+    let compiled = Arc::new(CompiledGraph::new(graph()).expect("validated graphs pass analysis"));
     let xs = inputs(4);
     let mut state = ExecState::new();
     let expected: Vec<Tensor> =

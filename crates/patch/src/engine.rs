@@ -116,7 +116,7 @@ impl<G: Borrow<Graph>> PatchExecutor<G> {
         let tail = if compile_tail {
             let tail_params =
                 (plan.split_at()..spec.len()).map(|i| graph.borrow().params(i).clone()).collect();
-            Some(CompiledGraph::new(Graph::new(tail_spec, tail_params)))
+            Some(CompiledGraph::new(Graph::new(tail_spec, tail_params))?)
         } else {
             None
         };

@@ -14,7 +14,7 @@
 //! apples.
 
 use quantmcu_nn::cost::{self, BitwidthAssignment};
-use quantmcu_nn::GraphSpec;
+use quantmcu_nn::{FeatureMapId, GraphSpec};
 use quantmcu_tensor::{Bitwidth, Region};
 
 use crate::branch::Branch;
@@ -37,13 +37,7 @@ pub fn region_bytes(region: Region, channels: usize, bits: Bitwidth) -> usize {
 pub fn branch_working_bytes(head: &GraphSpec, branch: &Branch, bits: &[Bitwidth]) -> usize {
     assert_eq!(bits.len(), head.len() + 1, "one bitwidth per branch feature map");
     let regions = branch.regions();
-    let ch = |fm: usize| {
-        if fm == 0 {
-            head.input_shape().c
-        } else {
-            head.node_shape(fm - 1).c
-        }
-    };
+    let ch = |fm: usize| head.feature_map_shape(FeatureMapId(fm)).c;
     (0..head.len())
         .map(|i| {
             region_bytes(regions[i], ch(i), bits[i])

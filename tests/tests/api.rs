@@ -93,12 +93,13 @@ fn facade_reexports_subsystem_types() {
 #[test]
 fn facade_unifies_errors() {
     let engine = Engine::builder(graph(Model::MobileNetV2))
-        // An absurdly small SRAM budget must fail with an Error, not panic.
+        // An absurdly small SRAM budget must fail with an Error, not
+        // panic — the static analyzer catches it before planning.
         .sram_budget(SramBudget::new(8))
         .build();
     let result: Result<DeploymentPlan, Error> = engine.plan(calib(2));
     let err = result.unwrap_err();
-    assert!(matches!(err, Error::Plan(_)));
+    assert!(matches!(err, Error::Analysis(_)));
     assert!(!err.to_string().is_empty());
     // The façade's own error still resolves for legacy callers.
     let legacy: Result<DeploymentPlan, PlanError> =

@@ -6,6 +6,7 @@
 use std::error::Error as _;
 
 use quantmcu::models::Model;
+use quantmcu::nn::analyze::Code;
 use quantmcu::tensor::{Shape, Tensor};
 use quantmcu::{Engine, Error, PlanError, SramBudget};
 use quantmcu_integration::{calib, graph};
@@ -32,14 +33,18 @@ fn empty_calibration_reports_the_plan_variant() {
 }
 
 #[test]
-fn infeasible_sram_budget_reports_the_plan_variant() {
+fn infeasible_sram_budget_reports_the_analysis_variant() {
     // 8 bytes cannot hold any feature map even at the narrowest
-    // candidate bitwidths.
+    // candidate bitwidths: the static analyzer proves it before any
+    // calibration work runs and surfaces the M001 diagnostic.
     let engine = Engine::builder(graph(Model::MobileNetV2)).sram_budget(SramBudget::new(8)).build();
     let err = engine.plan(calib(2)).unwrap_err();
-    assert!(matches!(err, Error::Plan(_)), "got {err:?}");
-    // Error -> PlanError -> subsystem leaf (patch fit or Eq. 7 repair).
-    assert!(chain_depth(&err) >= 2, "expected a chain to the subsystem error: {err:?}");
+    assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+    assert!(err.to_string().contains("static analysis failed"), "display: {err}");
+    // Error -> Report (the report is the leaf).
+    assert_eq!(chain_depth(&err), 1);
+    let Error::Analysis(report) = err else { unreachable!("matched above") };
+    assert!(report.has_code(Code::InfeasibleSram), "report: {report}");
 }
 
 #[test]

@@ -213,8 +213,25 @@ fn stats_are_coherent_after_shutdown() {
     assert_eq!(stats.failed, 0);
     assert_eq!(stats.rejected, 0);
     assert_eq!(stats.queue_depth, 0);
-    assert!(stats.latency_p50 > Duration::ZERO, "latency histogram recorded nothing");
-    assert!(stats.latency_p50 <= stats.latency_p99);
+    let p50 = stats.latency_p50.expect("completed requests imply latency samples");
+    let p99 = stats.latency_p99.expect("completed requests imply latency samples");
+    assert!(p50 > Duration::ZERO, "latency histogram recorded nothing");
+    assert!(p50 <= p99);
+}
+
+/// With zero completed requests there are no latency samples, so the
+/// percentiles must be absent — not a fake `Duration::ZERO` that reads
+/// as an impossibly fast measurement.
+#[test]
+fn idle_server_reports_no_latency_percentiles() {
+    let server = Server::builder(deployment()).workers(1).build();
+    let stats = server.stats();
+    assert_eq!(stats.latency_p50, None);
+    assert_eq!(stats.latency_p99, None);
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.completed, 0);
+    assert_eq!(final_stats.latency_p50, None);
+    assert_eq!(final_stats.latency_p99, None);
 }
 
 /// Shape errors surface through the ticket, not as poisoned workers: the
