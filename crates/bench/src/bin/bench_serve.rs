@@ -19,6 +19,7 @@
 use std::time::{Duration, Instant};
 
 use quantmcu::models::Model;
+use quantmcu::nn::kernels::GENERATION;
 use quantmcu::tensor::Tensor;
 use quantmcu::{Engine, Server, SramBudget};
 use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
@@ -114,7 +115,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"serving_throughput\",\n  \"model\": \"MobileNetV2 (exec scale)\",\n  \
+        "{{\n  \"bench\": \"serving_throughput\",\n  \
+         \"kernel_generation\": \"{GENERATION}\",\n  \
+         \"model\": \"MobileNetV2 (exec scale)\",\n  \
          \"batch\": {batch},\n  \"reps\": {reps},\n  \
          \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ],\n  \
          \"server_sweep\": [\n{}\n  ]\n}}\n",

@@ -3,8 +3,10 @@
 //! [`CompiledGraph`] holds everything about a network that is immutable
 //! across inferences: the graph (borrowed or owned, via
 //! [`Borrow<Graph>`]), the feature-map liveness schedule, and — when
-//! compiled with quantization — the per-channel quantized weights and
-//! requantization tables the integer path needs. It is `Send + Sync`, so
+//! compiled with quantization — the per-channel quantized weights (kept
+//! in the packed CMix-NN layout; the integer micro-kernels read the
+//! packed words directly) and requantization tables the integer path
+//! needs. It is `Send + Sync`, so
 //! one compiled graph can be shared by any number of workers.
 //!
 //! [`ExecState`] is the cheap per-worker half: the scratch arenas and
@@ -20,11 +22,11 @@
 
 use std::borrow::Borrow;
 
-use quantmcu_tensor::{Arena, Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
+use quantmcu_tensor::{pack, Arena, Bitwidth, ChannelQuantParams, QuantParams, Shape, Tensor};
 
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::kernels::{self, Dot, FloatDot};
+use crate::kernels::{self, FloatDot, PackedDot, Requant};
 use crate::spec::{FeatureMapId, GraphSpec, OpSpec, Source};
 
 /// An immutable, shareable compilation of a [`Graph`].
@@ -66,14 +68,23 @@ struct NodeQuant {
     bias_q: Vec<i64>,
     /// `s_in * s_w(oc)`: the accumulator's real-value scale, per channel.
     acc_scale: Vec<f64>,
+    /// `-zp_in * Σ w[oc]` per channel when the node's zero-point
+    /// correction can be folded into [`kernels::Dot::init`] (dense layers
+    /// and unpadded convolutions — every weight participates in every
+    /// output element); empty when padding forces per-element correction.
+    zp_fold: Vec<i64>,
 }
 
 /// The quantized half of a compiled graph: activation grids, per-channel
-/// quantized weights in execution layout, and requantization tables.
+/// quantized weights kept **packed** (the CMix-NN SRAM layout — the
+/// [`PackedDot`] micro-kernels compute dot products directly on the
+/// packed words, so no unpacked weight buffer exists at any point after
+/// compilation), and requantization tables.
 #[derive(Debug)]
 struct QuantTables {
     act_params: Vec<QuantParams>,
-    qweights: Vec<Vec<i8>>,
+    /// Packed weight words per node, in the node's execution layout.
+    packed_weights: Vec<Vec<u8>>,
     node_quant: Vec<Option<NodeQuant>>,
     weight_bits: Bitwidth,
 }
@@ -494,12 +505,12 @@ impl QuantTables {
                 .map_err(|_| GraphError::MissingQuantization { feature_map: i })?;
             act_params.push(p);
         }
-        let mut qweights = Vec::with_capacity(spec.len());
+        let mut packed_weights = Vec::with_capacity(spec.len());
         let mut node_quant = Vec::with_capacity(spec.len());
         for i in 0..spec.len() {
             let w = graph.params(i).weights();
             if w.is_empty() {
-                qweights.push(Vec::new());
+                packed_weights.push(Vec::new());
                 node_quant.push(None);
                 continue;
             }
@@ -528,30 +539,94 @@ impl QuantTables {
                     .map(|(j, &v)| params.quantize(j / per_channel, v) as i8)
                     .collect(),
             };
+            let zp_in = act_params[source_fm(spec.nodes()[i].inputs[0])].zero_point() as i64;
+            let zp_fold = zero_point_fold(op, in_shape, &qw, channels, per_channel, zp_in);
             let s_in = act_params[source_fm(spec.nodes()[i].inputs[0])].scale() as f64;
             let bias = graph.params(i).bias();
             let acc_scale: Vec<f64> =
                 (0..channels).map(|ch| s_in * params.scale(ch) as f64).collect();
             let bias_q: Vec<i64> =
                 bias.iter().zip(&acc_scale).map(|(&b, &s)| (b as f64 / s).round() as i64).collect();
-            qweights.push(qw);
-            node_quant.push(Some(NodeQuant { bias_q, acc_scale }));
+            // The i8 working copy dies here: only the packed words — the
+            // form the device would keep in SRAM — survive compilation.
+            packed_weights.push(pack::pack(&qw, weight_bits));
+            node_quant.push(Some(NodeQuant { bias_q, acc_scale, zp_fold }));
         }
-        Ok(QuantTables { act_params, qweights, node_quant, weight_bits })
+        Ok(QuantTables { act_params, packed_weights, node_quant, weight_bits })
     }
 
-    /// Builds the integer kernel strategy for weighted node `i`.
-    fn dot(&self, i: usize, in_fm: usize, out_fm: usize) -> QuantDot<'_> {
+    /// Builds the integer kernel strategy for weighted node `i`: a
+    /// [`PackedDot`] over the node's packed words, in folded-zero-point
+    /// mode whenever the fold is exact for the node's geometry.
+    fn dot(&self, i: usize, in_fm: usize, out_fm: usize) -> PackedDot<'_> {
         let out_params = self.act_params[out_fm];
-        QuantDot {
-            qw: &self.qweights[i],
-            zp_in: self.act_params[in_fm].zero_point(),
-            nq: self.node_quant[i].as_ref().expect("weighted node has quantization"),
+        let nq = self.node_quant[i].as_ref().expect("weighted node has quantization");
+        let rq = Requant {
+            bias_q: &nq.bias_q,
+            acc_scale: &nq.acc_scale,
             out_scale: out_params.scale() as f64,
             zp_out: out_params.zero_point(),
             q_min: out_params.bitwidth().min_value(),
             q_max: out_params.bitwidth().max_value(),
+        };
+        let dot = if nq.zp_fold.is_empty() {
+            let zp_in = self.act_params[in_fm].zero_point();
+            PackedDot::new(&self.packed_weights[i], self.weight_bits, zp_in, rq)
+        } else {
+            PackedDot::with_folded_zero_point(
+                &self.packed_weights[i],
+                self.weight_bits,
+                &nq.zp_fold,
+                rq,
+            )
+        };
+        // Storage activation grids (≤ 8 bits) keep `q - zp` within i16,
+        // unlocking the widening-multiply lanes; accounting-width
+        // activations fall back to full i32 multiplies.
+        if self.act_params[in_fm].bitwidth().bits() <= 8 {
+            dot.assuming_i16_activations()
+        } else {
+            dot
         }
+    }
+}
+
+/// Per-channel `-zp_in * Σ w[ch]` init terms when the zero-point
+/// correction can fold into [`kernels::Dot::init`], empty otherwise.
+///
+/// The identity `Σ (q - zp)·w = Σ q·w - zp · Σ w` holds per output element
+/// only when every weight of the channel participates in that element:
+/// dense layers always, convolutions only when `pad == 0` (zero padding
+/// makes tap participation element-dependent, so padded nodes keep the
+/// per-element correction).
+fn zero_point_fold(
+    op: OpSpec,
+    in_shape: Shape,
+    qw: &[i8],
+    channels: usize,
+    per_channel: usize,
+    zp_in: i64,
+) -> Vec<i64> {
+    match op {
+        OpSpec::Conv2d { pad: 0, .. } | OpSpec::Dense { .. } => (0..channels)
+            .map(|ch| {
+                let sum: i64 =
+                    qw[ch * per_channel..(ch + 1) * per_channel].iter().map(|&w| w as i64).sum();
+                -zp_in * sum
+            })
+            .collect(),
+        OpSpec::DepthwiseConv2d { pad: 0, .. } => {
+            // Execution layout is `[kh][kw][c]`: channel `ch`'s taps sit
+            // at stride `c`.
+            let c = in_shape.c;
+            (0..channels)
+                .map(|ch| {
+                    let sum: i64 = qw[ch..].iter().step_by(c).map(|&w| w as i64).sum();
+                    -zp_in * sum
+                })
+                .collect()
+        }
+        _ => Vec::new(),
     }
 }
 
@@ -630,53 +705,6 @@ impl ExecState {
 
 /// A streaming observer over dequantized feature maps.
 type MapObserver<'o> = &'o mut dyn FnMut(FeatureMapId, &Tensor);
-
-/// The integer strategy for the shared weighted kernels: `i32` grid
-/// elements, zero-point-corrected `i64` accumulation, per-channel
-/// requantization to the output feature map's grid on finish.
-struct QuantDot<'a> {
-    qw: &'a [i8],
-    zp_in: i32,
-    nq: &'a NodeQuant,
-    out_scale: f64,
-    zp_out: i32,
-    q_min: i32,
-    q_max: i32,
-}
-
-impl Dot for QuantDot<'_> {
-    type Elem = i32;
-    type Acc = i64;
-
-    #[inline]
-    fn init(&self, _oc: usize) -> i64 {
-        0
-    }
-
-    #[inline]
-    fn dot(&self, acc: i64, x: &[i32], w_base: usize) -> i64 {
-        let w = &self.qw[w_base..w_base + x.len()];
-        x.iter().zip(w).fold(acc, |a, (&q, &wv)| a + ((q - self.zp_in) * wv as i32) as i64)
-    }
-
-    #[inline]
-    fn mac_rows(&self, acc: &mut [i64], x: &[i32], w_base: usize) {
-        let w = &self.qw[w_base..w_base + acc.len()];
-        for ((a, &q), &wv) in acc.iter_mut().zip(x).zip(w) {
-            *a += ((q - self.zp_in) * wv as i32) as i64;
-        }
-    }
-
-    #[inline]
-    fn finish(&self, acc: i64, oc: usize) -> i32 {
-        // Bias enters the accumulator in its own grid, then the total is
-        // requantized to the output feature map's grid.
-        let acc = acc + self.nq.bias_q[oc];
-        let real = acc as f64 * self.nq.acc_scale[oc];
-        let q = (real / self.out_scale).round() as i32 + self.zp_out;
-        q.clamp(self.q_min, self.q_max)
-    }
-}
 
 /// Evaluates node `i` into `out`, dispatching to the shared kernel layer.
 fn eval_node(graph: &Graph, slots: &[Option<Tensor>], i: usize, out: &mut Tensor) {

@@ -3,7 +3,8 @@
 //! [`CompiledGraph`] is the immutable, `Send + Sync` half of an executor:
 //! the graph (borrowed or owned via `Borrow<Graph>`), the feature-map
 //! liveness schedule, and — when compiled with quantization — per-channel
-//! quantized weights and requantization tables. [`ExecState`] is the
+//! *packed* quantized weights (CMix-NN word layout, kept packed
+//! end-to-end) and requantization tables. [`ExecState`] is the
 //! cheap per-worker half: the scratch arenas and feature-map slots one
 //! in-flight inference needs. One compiled graph plus N states executes
 //! on N threads at once; the [`batch`] module provides the scoped-thread
@@ -14,8 +15,9 @@
 //! serving runtimes keep warm across calls.
 //!
 //! All execution dispatches into the shared op-kernel layer in
-//! [`crate::kernels`] — one cache-blocked loop nest per operator, generic
-//! over an element/accumulator strategy — and holds feature maps in
+//! [`crate::kernels`] — one cache-blocked, register-tiled loop nest per
+//! operator, generic over an element/accumulator strategy — and holds
+//! feature maps in
 //! state-owned [`Arena`](quantmcu_tensor::Arena)s, recycling each buffer
 //! once the map's last consumer has fired. The streaming `run_*_with`
 //! paths perform zero steady-state heap allocations; plain `run_*` adds
@@ -30,10 +32,14 @@
 //!   entropy estimation and value-driven patch classification consume
 //!   without materializing full traces.
 //! * [`QuantExecutor`] — an integer executor modeling the CMSIS-NN /
-//!   CMix-NN kernel stack: `i8` activation storage at a per-feature-map
-//!   [`Bitwidth`](quantmcu_tensor::Bitwidth), per-channel 8-bit (or
-//!   narrower) weights, `i64` accumulation, and requantization between
-//!   layers. Mixed-precision deployment plans are evaluated by giving each
+//!   CMix-NN kernel stack: integer activation storage at a
+//!   per-feature-map [`Bitwidth`](quantmcu_tensor::Bitwidth), per-channel
+//!   weights held in packed W2/W4/W8 words and consumed directly by the
+//!   packed dot-product kernels (no unpacking pass), `i32` register
+//!   lanes widened into an `i64` accumulator with the zero-point term
+//!   folded into its seed where exact, and requantization between
+//!   layers.
+//!   Mixed-precision deployment plans are evaluated by giving each
 //!   feature map its own bitwidth.
 
 pub mod batch;

@@ -44,10 +44,13 @@ pub fn calibrate_ranges(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<(f32, f3
 /// its own [`ExecState`].
 ///
 /// Weighted operators (convolutions, dense) run in true integer
-/// arithmetic through the same cache-blocked kernels as the float
-/// executor ([`crate::kernels`]), instantiated with an integer strategy:
-/// `i8` weights, zero-point-corrected `i64` accumulators and a rescale to
-/// the output feature map's grid. Value-preserving operators
+/// arithmetic through the same cache-blocked, register-tiled kernels as
+/// the float executor ([`crate::kernels`]), instantiated with the packed
+/// integer strategy ([`crate::kernels::PackedDot`]): weights stay in
+/// their packed W2/W4/W8 words, the input zero-point correction is
+/// folded into the accumulator seed where exact (per-element otherwise),
+/// and the finished `i64` accumulator is rescaled to the output feature
+/// map's grid. Value-preserving operators
 /// (activations, pooling, add, concat) are evaluated through
 /// dequantize→kernel→requantize, which is numerically equivalent to their
 /// fixed-point forms and keeps the kernel inventory small.

@@ -6,26 +6,61 @@
 //! operator's loop nest exists exactly once. The weighted kernels
 //! ([`conv2d`], [`dwconv`], [`dense`]) are generic over a [`Dot`]
 //! element/accumulator strategy: [`FloatDot`] instantiates them as the
-//! `f32` reference, and the integer executor supplies its own strategy
-//! (`i32` grid values, `i64` accumulation, per-channel requantization).
+//! `f32` reference, [`PackedDot`] is the deployed integer strategy
+//! (dot products computed *directly on packed W2/W4/W8 words* from
+//! [`quantmcu_tensor::pack`], `i64` accumulation, per-channel
+//! requantization), and [`IntDot`] is the previous-generation unpacked
+//! `i8` scalar strategy retained as the "blocked" benchmark baseline and
+//! parity reference.
 //!
-//! The convolution kernels are cache-blocked: output channels are tiled so
-//! each input row slice loaded into L1 is reused across a whole tile of
+//! # Tiling and micro-kernels
+//!
+//! The loop nests are cache-blocked: output channels are tiled so each
+//! input row slice loaded into L1 is reused across a whole tile of
 //! filters, output rows are tiled to keep the working set resident, the
 //! valid kernel-tap ranges are hoisted out of the inner loops (no
-//! per-element padding branches), and the innermost channel loop runs over
-//! raw contiguous slices — no per-element `at`/`set` index arithmetic.
-//! Per output element the accumulation order (`ky`, `kx`, `ic`) is
-//! identical to the [`naive`] reference loops, so the blocked kernels are
-//! bit-for-bit equal to them in `f32` — a property the kernel-parity
-//! proptest suite pins down.
+//! per-element padding branches), and — at stride 1 — the contiguous
+//! `(kx, ic)` tap block of one kernel row collapses into a *single*
+//! dot-product run, so the micro-kernel sees long contiguous spans
+//! instead of one call per tap.
+//!
+//! Inside a run, each strategy is a register-tiled micro-kernel: the run
+//! is consumed in [`LANES`]-wide chunks feeding that many *independent*
+//! accumulator lanes (explicit unrolling on the stable toolchain — no
+//! `std::simd`), which breaks the serial add dependency of a folded dot
+//! product and lets the compiler keep the lanes in vector registers. For
+//! the integer strategies the lanes are `i32` (products of zero-point
+//! corrected activations, an `i16`-range value, with `i8`-range weights),
+//! widened into the `i64` accumulator once per run.
+//!
+//! # Parity contract
+//!
+//! Integer arithmetic is exact, so lane regrouping cannot change results:
+//! the integer strategies are **bit-for-bit** identical to the scalar
+//! [`naive`] reference loops (`i32`-lane partial sums stay in range
+//! because the static analyzer's `Q001` overflow proof bounds the whole
+//! accumulator — see [`crate::analyze::accumulator_bound`]). Float lane
+//! accumulation *reassociates* the summation, so the float kernels match
+//! [`naive`] to an ULP bound rather than bit-for-bit; per output element
+//! the run decomposition is a pure function of the element's tap
+//! geometry, so float execution remains deterministic run-to-run and
+//! thread-count-independent. The kernel-parity proptest suite pins both
+//! properties down.
 //!
 //! Every kernel writes into a caller-provided output slice and takes a
 //! [`Region`] selecting the output rows/columns to compute (pass
 //! [`Shape::full_region`] for whole-map execution), which is what lets the
 //! patch engine compute only the halo-expanded regions a branch needs.
 
-use quantmcu_tensor::{Region, Shape};
+use quantmcu_tensor::{pack, Bitwidth, Region, Shape};
+
+/// Identifies the kernel generation in benchmark snapshots
+/// (`BENCH_kernels.json`, `BENCH_serve.json`), so throughput trajectories
+/// recorded before and after a kernel rewrite stay comparable.
+pub const GENERATION: &str = "tiled-packed-v1";
+
+/// Accumulator-lane width of the unrolled micro-kernels.
+pub const LANES: usize = 4;
 
 /// Element/accumulator strategy for the weighted kernels.
 ///
@@ -77,14 +112,33 @@ impl Dot for FloatDot<'_> {
         self.bias[oc]
     }
 
+    /// Register-tiled dot product: [`LANES`] independent partial sums over
+    /// the run, combined pairwise, then the sub-lane tail. The lane split
+    /// reassociates the `f32` summation (the documented ULP-level
+    /// divergence from [`naive`]); the combination order is fixed, so the
+    /// result is still a deterministic function of the run.
     #[inline]
     fn dot(&self, acc: f32, x: &[f32], w_base: usize) -> f32 {
         let w = &self.weights[w_base..w_base + x.len()];
-        x.iter().zip(w).fold(acc, |a, (&xv, &wv)| a + xv * wv)
+        let split = x.len() - x.len() % LANES;
+        let mut lanes = [0.0f32; LANES];
+        for (xq, wq) in x[..split].chunks_exact(LANES).zip(w[..split].chunks_exact(LANES)) {
+            lanes[0] += xq[0] * wq[0];
+            lanes[1] += xq[1] * wq[1];
+            lanes[2] += xq[2] * wq[2];
+            lanes[3] += xq[3] * wq[3];
+        }
+        let mut tail = 0.0f32;
+        for (&xv, &wv) in x[split..].iter().zip(&w[split..]) {
+            tail += xv * wv;
+        }
+        acc + (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail)
     }
 
     #[inline]
     fn mac_rows(&self, acc: &mut [f32], x: &[f32], w_base: usize) {
+        // Each channel already owns an independent accumulator, so the
+        // loop is lane-parallel as written and stays bit-exact vs naive.
         let w = &self.weights[w_base..w_base + acc.len()];
         for ((a, &xv), &wv) in acc.iter_mut().zip(x).zip(w) {
             *a += xv * wv;
@@ -95,6 +149,311 @@ impl Dot for FloatDot<'_> {
     fn finish(&self, acc: f32, _oc: usize) -> f32 {
         acc
     }
+}
+
+/// Per-channel requantization constants shared by the integer strategies:
+/// bias enters the accumulator in its own grid, then the total is rescaled
+/// to the output feature map's grid and clamped to its bitwidth.
+#[derive(Debug, Clone, Copy)]
+pub struct Requant<'a> {
+    /// Bias in accumulator grid units, per output channel.
+    pub bias_q: &'a [i64],
+    /// `s_in * s_w(oc)`: the accumulator's real-value scale, per channel.
+    pub acc_scale: &'a [f64],
+    /// The output feature map's quantization scale.
+    pub out_scale: f64,
+    /// The output feature map's zero point.
+    pub zp_out: i32,
+    /// Smallest representable output grid value.
+    pub q_min: i32,
+    /// Largest representable output grid value.
+    pub q_max: i32,
+}
+
+impl Requant<'_> {
+    /// Finalizes an `i64` accumulator into output channel `oc`'s grid.
+    #[inline]
+    pub fn finish(&self, acc: i64, oc: usize) -> i32 {
+        let acc = acc + self.bias_q[oc];
+        let real = acc as f64 * self.acc_scale[oc];
+        let q = (real / self.out_scale).round() as i32 + self.zp_out;
+        q.clamp(self.q_min, self.q_max)
+    }
+}
+
+/// The previous-generation integer strategy: unpacked `i8` weights, one
+/// folded `i64` accumulation chain, per-element zero-point correction.
+///
+/// Production execution uses [`PackedDot`]; this strategy is retained as
+/// the "blocked" baseline the kernels benchmark measures the tiled packed
+/// strategy against, and as a second bit-for-bit parity witness (all
+/// integer strategies compute in exact arithmetic, so they must agree
+/// exactly with [`naive`]'s `*_q` loops).
+#[derive(Debug, Clone, Copy)]
+pub struct IntDot<'a> {
+    /// Quantized weights in the node's canonical execution layout.
+    pub qw: &'a [i8],
+    /// Zero point of the input feature map's grid.
+    pub zp_in: i32,
+    /// Requantization constants.
+    pub rq: Requant<'a>,
+}
+
+impl Dot for IntDot<'_> {
+    type Elem = i32;
+    type Acc = i64;
+
+    #[inline]
+    fn init(&self, _oc: usize) -> i64 {
+        0
+    }
+
+    #[inline]
+    fn dot(&self, acc: i64, x: &[i32], w_base: usize) -> i64 {
+        let w = &self.qw[w_base..w_base + x.len()];
+        x.iter().zip(w).fold(acc, |a, (&q, &wv)| a + ((q - self.zp_in) * wv as i32) as i64)
+    }
+
+    #[inline]
+    fn mac_rows(&self, acc: &mut [i64], x: &[i32], w_base: usize) {
+        let w = &self.qw[w_base..w_base + acc.len()];
+        for ((a, &q), &wv) in acc.iter_mut().zip(x).zip(w) {
+            *a += ((q - self.zp_in) * wv as i32) as i64;
+        }
+    }
+
+    #[inline]
+    fn finish(&self, acc: i64, oc: usize) -> i32 {
+        self.rq.finish(acc, oc)
+    }
+}
+
+/// The deployed integer strategy: dot products computed **directly on
+/// packed W2/W4/W8 words** from [`quantmcu_tensor::pack`] — weights stay
+/// in their SRAM layout end-to-end and are sign-extended in registers
+/// (shift/mask word decode) as they are consumed.
+///
+/// Zero-point handling has two exact modes, chosen per node at compile
+/// time:
+///
+/// * **Folded** ([`PackedDot::with_folded_zero_point`]): when every weight
+///   of a channel participates in every output element (dense always;
+///   conv/dwconv when `pad == 0`), the correction
+///   `-zp_in * Σ w[oc]` is a per-channel constant folded into
+///   [`Dot::init`], and the inner loop multiplies raw grid values.
+/// * **Per-element** ([`PackedDot::new`]): with zero padding, border
+///   elements skip taps, so the correction is applied per element
+///   (`(q - zp_in) * w`) inside the lanes.
+///
+/// Both modes are algebraically identical in exact integer arithmetic, so
+/// either is bit-for-bit equal to the [`naive`] `*_q` references. The
+/// `i32` lane partial sums cannot overflow on any graph that passed the
+/// analyzer's `Q001` accumulator proof: each lane's magnitude is bounded
+/// by the whole element's proven accumulator bound
+/// ([`crate::analyze::ACC_LIMIT`], half the `i32` range), and the raw
+/// (folded-mode) sums are bounded *tighter* than the corrected ones
+/// (`|q| < |q - zp|`'s worst case).
+#[derive(Debug, Clone, Copy)]
+pub struct PackedDot<'a> {
+    /// Packed weight words in the node's canonical execution layout.
+    packed: &'a [u8],
+    /// Storage width of the packed fields.
+    bits: Bitwidth,
+    /// Zero point subtracted per element (`0` in folded mode).
+    zp_in: i32,
+    /// Folded per-channel `-zp_in * Σ w` init terms (empty unless folded).
+    init_q: &'a [i64],
+    /// Requantization constants.
+    rq: Requant<'a>,
+    /// `true` when every `q - zp_in` fits `i16` (see
+    /// [`PackedDot::assuming_i16_activations`]).
+    narrow: bool,
+}
+
+impl<'a> PackedDot<'a> {
+    /// Strategy with per-element zero-point correction (required when zero
+    /// padding makes tap participation element-dependent).
+    pub fn new(packed: &'a [u8], bits: Bitwidth, zp_in: i32, rq: Requant<'a>) -> Self {
+        debug_assert!(bits.bits() <= 8, "packed weights must have a storage layout");
+        PackedDot { packed, bits, zp_in, init_q: &[], rq, narrow: false }
+    }
+
+    /// Strategy with the zero-point correction folded into [`Dot::init`]:
+    /// `init_q[oc] = -zp_in * Σ w[oc]` over *all* of channel `oc`'s
+    /// weights. Only valid when every weight participates in every output
+    /// element (dense layers; convolutions with `pad == 0`).
+    pub fn with_folded_zero_point(
+        packed: &'a [u8],
+        bits: Bitwidth,
+        init_q: &'a [i64],
+        rq: Requant<'a>,
+    ) -> Self {
+        debug_assert!(bits.bits() <= 8, "packed weights must have a storage layout");
+        PackedDot { packed, bits, zp_in: 0, init_q, rq, narrow: false }
+    }
+
+    /// Declares that every activation minus the zero point fits `i16`,
+    /// switching the lanes to the i16→i32 widening multiply (which the
+    /// compiler can lower to packed 16-bit multiply-add instructions on
+    /// targets that have them — the register-level win of this kernel
+    /// generation).
+    ///
+    /// The bound holds for every *storage* activation grid: at ≤ 8 bits,
+    /// `|q - zp| ≤ 255`. It is the caller's contract — the quantized
+    /// executor asserts the input feature map's bitwidth — and is
+    /// `debug_assert`ed per element inside the lanes, so the parity
+    /// suites (which run in debug) verify it while release builds pay
+    /// nothing. Without this call the lanes use full `i32` multiplies and
+    /// accept any element value.
+    #[must_use]
+    pub fn assuming_i16_activations(mut self) -> Self {
+        self.narrow = true;
+        self
+    }
+}
+
+impl Dot for PackedDot<'_> {
+    type Elem = i32;
+    type Acc = i64;
+
+    #[inline]
+    fn init(&self, oc: usize) -> i64 {
+        if self.init_q.is_empty() {
+            0
+        } else {
+            self.init_q[oc]
+        }
+    }
+
+    #[inline]
+    fn dot(&self, acc: i64, x: &[i32], w_base: usize) -> i64 {
+        acc + match (self.narrow, self.bits) {
+            (true, Bitwidth::W8) => dot_packed_w8::<true>(self.packed, w_base, x, self.zp_in),
+            (true, Bitwidth::W4) => dot_packed_w4::<true>(self.packed, w_base, x, self.zp_in),
+            (true, Bitwidth::W2) => dot_packed_w2::<true>(self.packed, w_base, x, self.zp_in),
+            (false, Bitwidth::W8) => dot_packed_w8::<false>(self.packed, w_base, x, self.zp_in),
+            (false, Bitwidth::W4) => dot_packed_w4::<false>(self.packed, w_base, x, self.zp_in),
+            (false, Bitwidth::W2) => dot_packed_w2::<false>(self.packed, w_base, x, self.zp_in),
+            _ => unreachable!("constructors reject accounting-only widths"),
+        }
+    }
+
+    #[inline]
+    fn mac_rows(&self, acc: &mut [i64], x: &[i32], w_base: usize) {
+        match self.bits {
+            Bitwidth::W8 => {
+                let w = &self.packed[w_base..w_base + acc.len()];
+                for ((a, &q), &wv) in acc.iter_mut().zip(x).zip(w) {
+                    *a += ((q - self.zp_in) * (wv as i8) as i32) as i64;
+                }
+            }
+            // Depthwise runs are short (one value per channel per tap) and
+            // start at arbitrary sub-byte offsets, so decode per field.
+            _ => {
+                for (j, (a, &q)) in acc.iter_mut().zip(x).enumerate() {
+                    let wv = pack::field_at(self.packed, self.bits, w_base + j);
+                    *a += ((q - self.zp_in) * wv as i32) as i64;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn finish(&self, acc: i64, oc: usize) -> i32 {
+        self.rq.finish(acc, oc)
+    }
+}
+
+/// The zero-point-corrected product of one lane element. With
+/// `NARROW`, the corrected activation is truncated to `i16` before the
+/// multiply (exact under the [`PackedDot::assuming_i16_activations`]
+/// contract, `debug_assert`ed here), which exposes an i16×i16→i32
+/// widening multiply the backend can lower to packed multiply-add
+/// instructions; otherwise the multiply stays full `i32`.
+#[inline(always)]
+fn zp_mul<const NARROW: bool>(q: i32, zp: i32, w: i8) -> i32 {
+    let d = q - zp;
+    if NARROW {
+        debug_assert_eq!(d as i16 as i32, d, "activation minus zero point exceeds i16");
+        (d as i16 as i32) * (w as i32)
+    } else {
+        d * (w as i32)
+    }
+}
+
+/// Packed-`W8` micro-kernel: bytes *are* the fields, so this is the
+/// [`LANES`]-wide unrolled integer dot with `i32` lanes widened once into
+/// the caller's `i64` accumulator.
+#[inline]
+fn dot_packed_w8<const NARROW: bool>(packed: &[u8], start: usize, x: &[i32], zp: i32) -> i64 {
+    let w = &packed[start..start + x.len()];
+    let split = x.len() - x.len() % LANES;
+    let mut lanes = [0i32; LANES];
+    for (xq, wq) in x[..split].chunks_exact(LANES).zip(w[..split].chunks_exact(LANES)) {
+        lanes[0] += zp_mul::<NARROW>(xq[0], zp, wq[0] as i8);
+        lanes[1] += zp_mul::<NARROW>(xq[1], zp, wq[1] as i8);
+        lanes[2] += zp_mul::<NARROW>(xq[2], zp, wq[2] as i8);
+        lanes[3] += zp_mul::<NARROW>(xq[3], zp, wq[3] as i8);
+    }
+    let mut tail = 0i32;
+    for (&q, &wv) in x[split..].iter().zip(&w[split..]) {
+        tail += zp_mul::<NARROW>(q, zp, wv as i8);
+    }
+    lanes.iter().map(|&l| l as i64).sum::<i64>() + tail as i64
+}
+
+/// Packed-`W4` micro-kernel: a ragged head up to the byte boundary, then
+/// two-byte words decoded into four lanes, then the ragged tail.
+#[inline]
+fn dot_packed_w4<const NARROW: bool>(packed: &[u8], start: usize, x: &[i32], zp: i32) -> i64 {
+    let mut edge = 0i32;
+    let mut j = 0;
+    if start % 2 == 1 && j < x.len() {
+        edge += zp_mul::<NARROW>(x[j], zp, pack::field_at(packed, Bitwidth::W4, start));
+        j += 1;
+    }
+    let body = (x.len() - j) / 4 * 4; // elements consumed in two-byte words
+    let bytes = &packed[(start + j) / 2..(start + j + body) / 2];
+    let mut lanes = [0i32; LANES];
+    for (bp, xq) in bytes.chunks_exact(2).zip(x[j..j + body].chunks_exact(4)) {
+        let [w0, w1] = pack::decode_w4(bp[0]);
+        let [w2, w3] = pack::decode_w4(bp[1]);
+        lanes[0] += zp_mul::<NARROW>(xq[0], zp, w0);
+        lanes[1] += zp_mul::<NARROW>(xq[1], zp, w1);
+        lanes[2] += zp_mul::<NARROW>(xq[2], zp, w2);
+        lanes[3] += zp_mul::<NARROW>(xq[3], zp, w3);
+    }
+    for (t, &q) in x.iter().enumerate().skip(j + body) {
+        edge += zp_mul::<NARROW>(q, zp, pack::field_at(packed, Bitwidth::W4, start + t));
+    }
+    lanes.iter().map(|&l| l as i64).sum::<i64>() + edge as i64
+}
+
+/// Packed-`W2` micro-kernel: a ragged head up to the byte boundary, then
+/// whole bytes decoded into four lanes (one byte = one lane step), then
+/// the ragged tail.
+#[inline]
+fn dot_packed_w2<const NARROW: bool>(packed: &[u8], start: usize, x: &[i32], zp: i32) -> i64 {
+    let mut edge = 0i32;
+    let mut j = 0;
+    while (start + j) % 4 != 0 && j < x.len() {
+        edge += zp_mul::<NARROW>(x[j], zp, pack::field_at(packed, Bitwidth::W2, start + j));
+        j += 1;
+    }
+    let body = (x.len() - j) / 4 * 4;
+    let bytes = &packed[(start + j) / 4..(start + j + body) / 4];
+    let mut lanes = [0i32; LANES];
+    for (&b, xq) in bytes.iter().zip(x[j..j + body].chunks_exact(4)) {
+        let [w0, w1, w2, w3] = pack::decode_w2(b);
+        lanes[0] += zp_mul::<NARROW>(xq[0], zp, w0);
+        lanes[1] += zp_mul::<NARROW>(xq[1], zp, w1);
+        lanes[2] += zp_mul::<NARROW>(xq[2], zp, w2);
+        lanes[3] += zp_mul::<NARROW>(xq[3], zp, w3);
+    }
+    for (t, &q) in x.iter().enumerate().skip(j + body) {
+        edge += zp_mul::<NARROW>(q, zp, pack::field_at(packed, Bitwidth::W2, start + t));
+    }
+    lanes.iter().map(|&l| l as i64).sum::<i64>() + edge as i64
 }
 
 /// Output-channel tile width of the blocked convolution kernels.
@@ -123,6 +482,14 @@ fn valid_taps(o: usize, stride: usize, k: usize, pad: usize, extent: usize) -> (
 
 /// Cache-blocked standard convolution (OHWI weights, fused bias via the
 /// strategy), zero padding outside the input.
+///
+/// At stride 1 the valid `(kx, ic)` tap block of one kernel row is
+/// contiguous in *both* the input row and the OHWI weight layout, so it
+/// collapses into a single `Dot::dot` run of length
+/// `(kx_hi - kx_lo) * c` — the strategies' register-tiled lanes then
+/// amortize over the whole row instead of one call per tap. The flat
+/// element order of the fused run equals naive's `(kx, ic)` nesting, so
+/// the integer parity contract is unaffected.
 ///
 /// `out` must hold the full output map; only positions inside `region`
 /// (clamped to the map) are written.
@@ -163,12 +530,24 @@ pub fn conv2d<S: Dot>(
                         for ky in ky_lo..ky_hi {
                             let iy = oy * stride + ky - pad;
                             let row = in_shape.index(n, iy, 0, 0);
-                            for kx in kx_lo..kx_hi {
-                                let ix = ox * stride + kx - pad;
-                                let x = &input[row + ix * c..row + (ix + 1) * c];
+                            if stride == 1 && kx_lo < kx_hi {
+                                // Fused run over the whole valid kernel row.
+                                // (The `kx_lo < kx_hi` guard skips empty tap
+                                // ranges, whose `ix` would underflow.)
+                                let ix = ox + kx_lo - pad;
+                                let x = &input[row + ix * c..row + (ix + kx_hi - kx_lo) * c];
                                 for (j, a) in acc.iter_mut().enumerate().take(oc_n) {
-                                    let w_base = (((oc0 + j) * k + ky) * k + kx) * c;
+                                    let w_base = (((oc0 + j) * k + ky) * k + kx_lo) * c;
                                     *a = s.dot(*a, x, w_base);
+                                }
+                            } else {
+                                for kx in kx_lo..kx_hi {
+                                    let ix = ox * stride + kx - pad;
+                                    let x = &input[row + ix * c..row + (ix + 1) * c];
+                                    for (j, a) in acc.iter_mut().enumerate().take(oc_n) {
+                                        let w_base = (((oc0 + j) * k + ky) * k + kx) * c;
+                                        *a = s.dot(*a, x, w_base);
+                                    }
                                 }
                             }
                         }
@@ -455,11 +834,16 @@ fn for_row_runs(shape: Shape, region: Region, mut f: impl FnMut(usize, usize)) {
 ///
 /// These are the executors' original naive implementations, retained as
 /// the ground truth for the kernel-parity property tests and as the
-/// baseline the `kernels` criterion benchmark measures the blocked
-/// kernels against. They allocate their outputs and use per-element
-/// index arithmetic — exactly what the blocked kernels avoid.
+/// baseline the kernels benchmarks measure the tiled kernels against.
+/// The float functions allocate their outputs and use per-element
+/// index arithmetic; the `*_q` functions are the scalar integer ground
+/// truth — textbook `(q - zp) · w` loops folding straight into an `i64`
+/// accumulator — that [`IntDot`](super::IntDot) and
+/// [`PackedDot`](super::PackedDot) must match **bit-for-bit**.
 pub mod naive {
     use quantmcu_tensor::{Shape, Tensor};
+
+    use super::Requant;
 
     /// Naive standard convolution (OHWI weights, bias preloaded).
     pub fn conv2d(
@@ -563,6 +947,124 @@ pub mod naive {
         }
         out
     }
+
+    /// Naive integer convolution: OHWI `i8` weights, per-element
+    /// zero-point correction, scalar `i64` accumulation, requantization
+    /// via `rq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d_q(
+        input: &[i32],
+        in_shape: Shape,
+        qw: &[i8],
+        zp_in: i32,
+        rq: &Requant<'_>,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<i32> {
+        let is = in_shape;
+        let (oh, ow) = super::conv_output_hw(is, k, stride, pad);
+        let os = Shape::new(is.n, oh, ow, out_ch);
+        let mut out = vec![0i32; os.len()];
+        for n in 0..is.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for oc in 0..out_ch {
+                        let mut acc = 0i64;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= is.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= is.w {
+                                    continue;
+                                }
+                                let in_base = is.index(n, iy as usize, ix as usize, 0);
+                                let w_base = ((oc * k + ky) * k + kx) * is.c;
+                                for ic in 0..is.c {
+                                    acc += ((input[in_base + ic] - zp_in) * qw[w_base + ic] as i32)
+                                        as i64;
+                                }
+                            }
+                        }
+                        out[os.index(n, oy, ox, oc)] = rq.finish(acc, oc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive integer depthwise convolution (`[kh][kw][c]` `i8` weights).
+    #[allow(clippy::too_many_arguments)]
+    pub fn dwconv_q(
+        input: &[i32],
+        in_shape: Shape,
+        qw: &[i8],
+        zp_in: i32,
+        rq: &Requant<'_>,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Vec<i32> {
+        let is = in_shape;
+        let (oh, ow) = super::conv_output_hw(is, k, stride, pad);
+        let os = Shape::new(is.n, oh, ow, is.c);
+        let mut out = vec![0i32; os.len()];
+        for n in 0..is.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for c in 0..is.c {
+                        let mut acc = 0i64;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= is.h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= is.w {
+                                    continue;
+                                }
+                                let q = input[is.index(n, iy as usize, ix as usize, c)];
+                                acc += ((q - zp_in) * qw[(ky * k + kx) * is.c + c] as i32) as i64;
+                            }
+                        }
+                        out[os.index(n, oy, ox, c)] = rq.finish(acc, c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive integer dense layer (`[out][in]` `i8` weights).
+    pub fn dense_q(
+        input: &[i32],
+        in_shape: Shape,
+        qw: &[i8],
+        zp_in: i32,
+        rq: &Requant<'_>,
+        out_f: usize,
+    ) -> Vec<i32> {
+        let fan_in = in_shape.per_sample();
+        let mut out = vec![0i32; in_shape.n * out_f];
+        for n in 0..in_shape.n {
+            let sample = &input[n * fan_in..(n + 1) * fan_in];
+            for o in 0..out_f {
+                let row = &qw[o * fan_in..(o + 1) * fan_in];
+                let acc = sample
+                    .iter()
+                    .zip(row)
+                    .fold(0i64, |a, (&q, &w)| a + ((q - zp_in) * w as i32) as i64);
+                out[n * out_f + o] = rq.finish(acc, o);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -574,8 +1076,24 @@ mod tests {
         (0..len).map(|i| (((i as u64 ^ seed) as f32) * 0.37).sin() * 0.5).collect()
     }
 
+    /// Float parity vs naive is ULP-bounded, not bit-exact: the lane-
+    /// unrolled micro-kernels reassociate each run's `f32` summation (see
+    /// the module docs). 256 ULPs with a small absolute floor for
+    /// near-zero sums is far above observed drift yet far below any
+    /// semantic difference.
+    fn assert_ulp_close(actual: &[f32], expected: &[f32], what: &str) {
+        assert_eq!(actual.len(), expected.len(), "{what}: length mismatch");
+        for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+            let ulps = (a.to_bits() as i64 - e.to_bits() as i64).unsigned_abs();
+            assert!(
+                (a - e).abs() <= 1e-5 || ulps <= 256,
+                "{what}: element {i} diverged: {a} vs {e} ({ulps} ulps)"
+            );
+        }
+    }
+
     #[test]
-    fn blocked_conv_matches_naive_bitwise() {
+    fn tiled_conv_matches_naive_within_ulps() {
         for (h, w, c, oc, k, stride, pad) in [
             (7, 9, 3, 5, 3, 1, 1),
             (8, 8, 4, 16, 3, 2, 0),
@@ -598,10 +1116,10 @@ mod tests {
                 pad,
                 reference.shape().full_region(),
             );
-            assert_eq!(
-                out,
+            assert_ulp_close(
+                &out,
                 reference.data(),
-                "conv2d h={h} w={w} c={c} oc={oc} k={k} s={stride} p={pad}"
+                &format!("conv2d h={h} w={w} c={c} oc={oc} k={k} s={stride} p={pad}"),
             );
         }
     }
@@ -631,7 +1149,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_dense_matches_naive_bitwise() {
+    fn tiled_dense_matches_naive_within_ulps() {
         for (h, w, c, of) in [(4, 4, 3, 10), (1, 1, 600, 17), (3, 5, 7, 1)] {
             let input = Tensor::from_fn(Shape::hwc(h, w, c), |i| ((i as f32) * 0.31).sin());
             let fan_in = input.shape().per_sample();
@@ -646,7 +1164,7 @@ mod tests {
                 &mut out,
                 of,
             );
-            assert_eq!(out, reference.data());
+            assert_ulp_close(&out, reference.data(), &format!("dense {h}x{w}x{c} -> {of}"));
         }
     }
 
@@ -655,21 +1173,17 @@ mod tests {
         let input = Tensor::from_fn(Shape::hwc(8, 8, 2), |i| i as f32 * 0.01);
         let weights = test_weights(4 * 9 * 2, 19);
         let bias = vec![0.0; 4];
-        let full = naive::conv2d(&input, &weights, &bias, 4, 3, 1, 1);
+        // The region-restricted reference is the *tiled* kernel itself on
+        // the full region: per output element the run decomposition only
+        // depends on the element's own tap geometry, so restricting the
+        // region must reproduce the full-map values exactly.
+        let os = Shape::new(1, 8, 8, 4);
+        let mut full = vec![0.0f32; os.len()];
+        let dot = FloatDot { weights: &weights, bias: &bias };
+        conv2d(&dot, input.data(), input.shape(), &mut full, 4, 3, 1, 1, os.full_region());
         let region = Region::new(2, 3, 3, 4);
-        let mut out = vec![f32::NAN; full.shape().len()];
-        conv2d(
-            &FloatDot { weights: &weights, bias: &bias },
-            input.data(),
-            input.shape(),
-            &mut out,
-            4,
-            3,
-            1,
-            1,
-            region,
-        );
-        let os = full.shape();
+        let mut out = vec![f32::NAN; os.len()];
+        conv2d(&dot, input.data(), input.shape(), &mut out, 4, 3, 1, 1, region);
         for y in 0..os.h {
             for x in 0..os.w {
                 for ch in 0..os.c {
@@ -677,12 +1191,132 @@ mod tests {
                     let inside =
                         y >= region.y && y < region.y_end() && x >= region.x && x < region.x_end();
                     if inside {
-                        assert_eq!(v, full.at(0, y, x, ch));
+                        assert_eq!(v, full[os.index(0, y, x, ch)]);
                     } else {
                         assert!(v.is_nan(), "position ({y},{x},{ch}) written outside region");
                     }
                 }
             }
+        }
+    }
+
+    /// A plausible requantization table for strategy-level tests: varied
+    /// per-channel scales and biases, full `W8` output grid.
+    fn test_requant(channels: usize) -> (Vec<i64>, Vec<f64>) {
+        let bias_q: Vec<i64> = (0..channels).map(|c| (c as i64 * 7) % 23 - 11).collect();
+        let acc_scale: Vec<f64> = (0..channels).map(|c| 1e-4 * (1.0 + c as f64 * 0.01)).collect();
+        (bias_q, acc_scale)
+    }
+
+    #[test]
+    fn packed_strategies_match_naive_q_exactly() {
+        let (h, w, c, oc, k) = (9, 7, 5, 6, 3);
+        let input: Vec<i32> = (0..h * w * c).map(|i| ((i * 37) % 256) as i32 - 128).collect();
+        let in_shape = Shape::hwc(h, w, c);
+        let zp = -3;
+        let (bias_q, acc_scale) = test_requant(oc);
+        let rq = Requant {
+            bias_q: &bias_q,
+            acc_scale: &acc_scale,
+            out_scale: 0.05,
+            zp_out: 2,
+            q_min: Bitwidth::W8.min_value(),
+            q_max: Bitwidth::W8.max_value(),
+        };
+        for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
+            let (lo, hi) = (bits.min_value() as i8, bits.max_value() as i8);
+            let qw: Vec<i8> =
+                (0..oc * k * k * c).map(|i| (((i * 11) % 29) as i8 - 14).clamp(lo, hi)).collect();
+            let packed = pack::pack(&qw, bits);
+            for (stride, pad) in [(1, 1), (2, 0), (1, 0), (3, 2)] {
+                let reference = naive::conv2d_q(&input, in_shape, &qw, zp, &rq, oc, k, stride, pad);
+                let (oh, ow) = conv_output_hw(in_shape, k, stride, pad);
+                let os = Shape::new(1, oh, ow, oc);
+                let region = os.full_region();
+
+                let mut tiled = vec![0i32; os.len()];
+                let s = PackedDot::new(&packed, bits, zp, rq);
+                conv2d(&s, &input, in_shape, &mut tiled, oc, k, stride, pad, region);
+                assert_eq!(tiled, reference, "packed conv {bits} s={stride} p={pad}");
+
+                let mut blocked = vec![0i32; os.len()];
+                let s = IntDot { qw: &qw, zp_in: zp, rq };
+                conv2d(&s, &input, in_shape, &mut blocked, oc, k, stride, pad, region);
+                assert_eq!(blocked, reference, "unpacked conv {bits} s={stride} p={pad}");
+
+                if pad == 0 {
+                    // Folded mode: -zp * Σw per channel into init.
+                    let per_ch = k * k * c;
+                    let init_q: Vec<i64> = (0..oc)
+                        .map(|o| {
+                            -(zp as i64)
+                                * qw[o * per_ch..(o + 1) * per_ch]
+                                    .iter()
+                                    .map(|&v| v as i64)
+                                    .sum::<i64>()
+                        })
+                        .collect();
+                    let mut folded = vec![0i32; os.len()];
+                    let s = PackedDot::with_folded_zero_point(&packed, bits, &init_q, rq);
+                    conv2d(&s, &input, in_shape, &mut folded, oc, k, stride, pad, region);
+                    assert_eq!(folded, reference, "folded conv {bits} s={stride}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_dwconv_and_dense_match_naive_q_exactly() {
+        let (h, w, c) = (8, 6, 19); // c not divisible by any tile width
+        let input: Vec<i32> = (0..h * w * c).map(|i| ((i * 53) % 200) as i32 - 100).collect();
+        let in_shape = Shape::hwc(h, w, c);
+        let zp = 5;
+        for bits in [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2] {
+            let (lo, hi) = (bits.min_value() as i8, bits.max_value() as i8);
+            let (k, stride, pad) = (3, 1, 1);
+            let qw: Vec<i8> =
+                (0..k * k * c).map(|i| (((i * 13) % 31) as i8 - 15).clamp(lo, hi)).collect();
+            let (bias_q, acc_scale) = test_requant(c);
+            let rq = Requant {
+                bias_q: &bias_q,
+                acc_scale: &acc_scale,
+                out_scale: 0.04,
+                zp_out: -1,
+                q_min: Bitwidth::W8.min_value(),
+                q_max: Bitwidth::W8.max_value(),
+            };
+            let reference = naive::dwconv_q(&input, in_shape, &qw, zp, &rq, k, stride, pad);
+            let packed = pack::pack(&qw, bits);
+            let mut out = vec![0i32; reference.len()];
+            let s = PackedDot::new(&packed, bits, zp, rq);
+            dwconv(&s, &input, in_shape, &mut out, k, stride, pad, in_shape.full_region());
+            assert_eq!(out, reference, "packed dwconv {bits}");
+
+            let out_f = 7;
+            let fan_in = in_shape.per_sample();
+            let dqw: Vec<i8> =
+                (0..out_f * fan_in).map(|i| (((i * 17) % 27) as i8 - 13).clamp(lo, hi)).collect();
+            let (bias_q, acc_scale) = test_requant(out_f);
+            let rq = Requant {
+                bias_q: &bias_q,
+                acc_scale: &acc_scale,
+                out_scale: 0.03,
+                zp_out: 0,
+                q_min: Bitwidth::W8.min_value(),
+                q_max: Bitwidth::W8.max_value(),
+            };
+            let reference = naive::dense_q(&input, in_shape, &dqw, zp, &rq, out_f);
+            let packed = pack::pack(&dqw, bits);
+            let init_q: Vec<i64> = (0..out_f)
+                .map(|o| {
+                    -(zp as i64)
+                        * dqw[o * fan_in..(o + 1) * fan_in].iter().map(|&v| v as i64).sum::<i64>()
+                })
+                .collect();
+            let mut out = vec![0i32; out_f];
+            let s = PackedDot::with_folded_zero_point(&packed, bits, &init_q, rq);
+            dense(&s, &input, in_shape, &mut out, out_f);
+            assert_eq!(out, reference, "packed folded dense {bits}");
         }
     }
 

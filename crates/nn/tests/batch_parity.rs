@@ -2,6 +2,14 @@
 //! workers sharing one [`CompiledGraph`] must produce **bit-identical**
 //! outputs to serial execution, for the float and the integer path alike,
 //! regardless of worker count.
+//!
+//! Bit equality here is intentional even though the float micro-kernels
+//! reassociate summation (and are therefore only ULP-close to
+//! `kernels::naive`): every worker runs the *same* tiled kernels, whose
+//! run decomposition is a pure function of each output element's tap
+//! geometry — never of worker count or scheduling. Cross-worker parity is
+//! therefore exact, while kernel-vs-oracle parity is ULP-bounded; see
+//! `kernel_parity.rs` for that contract.
 
 use std::sync::Arc;
 

@@ -2,9 +2,14 @@
 //!
 //! CMix-NN stores 4-bit values two per byte (low nibble first) and 2-bit
 //! values four per byte (lowest crumb first), all in two's complement. The
-//! packed form is what occupies SRAM on the device; kernels unpack to `i8`
-//! registers before multiply-accumulate. These functions model exactly that
-//! boundary.
+//! packed form is what occupies SRAM on the device; kernels decode fields
+//! to `i8` registers as they multiply-accumulate. Besides the bulk
+//! [`pack`]/[`unpack`] pair, this module exposes the word-iteration
+//! building blocks the packed dot-product kernels use directly:
+//! [`decode_w4`]/[`decode_w2`] split one packed byte into its fields in
+//! registers, [`field_at`] random-accesses a single field (for runs that
+//! start or end mid-byte), and [`sign_extend`] is the shared branch-free
+//! two's-complement widening they are all built on.
 
 use crate::bitwidth::Bitwidth;
 
@@ -39,6 +44,7 @@ pub fn pack(values: &[i8], bitwidth: Bitwidth) -> Vec<u8> {
     let per_byte = 8 / bits;
     let mask = (1u8 << bits) - 1;
     let mut out = vec![0u8; bitwidth.bytes_for(values.len())];
+    debug_assert!(out.len() * per_byte >= values.len(), "packed buffer covers every value");
     for (i, &v) in values.iter().enumerate() {
         let byte = i / per_byte;
         let slot = i % per_byte;
@@ -61,17 +67,30 @@ pub fn unpack(bytes: &[u8], bitwidth: Bitwidth, len: usize) -> Vec<i8> {
         "packed buffer too short: {} bytes for {len} values at {bitwidth}",
         bytes.len()
     );
+    debug_assert!(len == 0 || (len - 1) * bits / 8 < bytes.len(), "last field inside the buffer");
     if bits == 8 {
         return bytes[..len].iter().map(|&b| b as i8).collect();
     }
-    let per_byte = 8 / bits;
-    let mask = (1u8 << bits) - 1;
-    (0..len)
-        .map(|i| {
-            let field = (bytes[i / per_byte] >> ((i % per_byte) * bits)) & mask;
-            sign_extend(field, bits)
-        })
-        .collect()
+    // Word iteration: decode whole bytes through the same field decoders
+    // the packed dot-product kernels use, then the ragged tail.
+    let mut out = Vec::with_capacity(len);
+    match bitwidth {
+        Bitwidth::W4 => {
+            for &b in &bytes[..len / 2] {
+                out.extend_from_slice(&decode_w4(b));
+            }
+        }
+        Bitwidth::W2 => {
+            for &b in &bytes[..len / 4] {
+                out.extend_from_slice(&decode_w2(b));
+            }
+        }
+        _ => unreachable!("storage_bits admits only W2/W4/W8"),
+    }
+    for i in out.len()..len {
+        out.push(field_at(bytes, bitwidth, i));
+    }
+    out
 }
 
 /// The storage width of `bitwidth`, rejecting widths the `i8`-based
@@ -83,11 +102,71 @@ fn storage_bits(bitwidth: Bitwidth) -> usize {
     bits as usize
 }
 
-/// Sign-extends a `bits`-wide two's-complement field to `i8`.
+/// Sign-extends a `bits`-wide two's-complement field to `i8`, branch-free
+/// (shift the field to the top of the byte, then arithmetic-shift back
+/// down). Shared by [`unpack`], the field decoders and the packed
+/// dot-product kernels in `quantmcu_nn::kernels`.
 #[inline]
-fn sign_extend(field: u8, bits: usize) -> i8 {
+pub fn sign_extend(field: u8, bits: usize) -> i8 {
+    debug_assert!((1..=8).contains(&bits), "sign_extend width {bits} outside 1..=8");
     let shift = 8 - bits;
     ((field << shift) as i8) >> shift
+}
+
+/// Decodes one packed `W4` byte into its two fields (low nibble first).
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_tensor::pack;
+///
+/// assert_eq!(pack::decode_w4(0x21), [1, 2]);
+/// assert_eq!(pack::decode_w4(0xF8), [-8, -1]);
+/// ```
+#[inline]
+pub fn decode_w4(byte: u8) -> [i8; 2] {
+    [sign_extend(byte & 0xF, 4), (byte as i8) >> 4]
+}
+
+/// Decodes one packed `W2` byte into its four fields (lowest crumb
+/// first).
+///
+/// # Example
+///
+/// ```
+/// use quantmcu_tensor::pack;
+///
+/// // Fields 1, -2, 0, -1 packed low-to-high.
+/// let byte = pack::pack(&[1, -2, 0, -1], quantmcu_tensor::Bitwidth::W2)[0];
+/// assert_eq!(pack::decode_w2(byte), [1, -2, 0, -1]);
+/// ```
+#[inline]
+pub fn decode_w2(byte: u8) -> [i8; 4] {
+    [
+        sign_extend(byte & 0b11, 2),
+        sign_extend((byte >> 2) & 0b11, 2),
+        sign_extend((byte >> 4) & 0b11, 2),
+        (byte as i8) >> 6,
+    ]
+}
+
+/// Random access to field `index` of a packed buffer, sign-extended.
+/// This is how the packed kernels handle runs that start or end mid-byte;
+/// aligned spans go through [`decode_w4`]/[`decode_w2`] a word at a time.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) when the field lies outside `bytes`, and
+/// for accounting-only bitwidths (see [`pack`]).
+#[inline]
+pub fn field_at(bytes: &[u8], bitwidth: Bitwidth, index: usize) -> i8 {
+    let bits = storage_bits(bitwidth);
+    if bits == 8 {
+        return bytes[index] as i8;
+    }
+    let per_byte = 8 / bits;
+    let field = bytes[index / per_byte] >> ((index % per_byte) * bits);
+    sign_extend(field & ((1u8 << bits) - 1), bits)
 }
 
 #[cfg(test)]
@@ -194,6 +273,26 @@ mod tests {
                 let mut packed = pack(&values, Bitwidth::W4);
                 packed.extend(std::iter::repeat(0xFFu8).take(extra));
                 prop_assert_eq!(unpack(&packed, Bitwidth::W4, values.len()), values);
+            }
+
+            #[test]
+            fn field_at_agrees_with_unpack_at_every_index(
+                raw in prop::collection::vec(-128i8..=127, 1..65),
+                which in 0usize..3,
+            ) {
+                let bits = [Bitwidth::W2, Bitwidth::W4, Bitwidth::W8][which];
+                let values = clamp_to(bits, &raw);
+                let packed = pack(&values, bits);
+                let unpacked = unpack(&packed, bits, values.len());
+                for (i, &v) in unpacked.iter().enumerate() {
+                    prop_assert_eq!(field_at(&packed, bits, i), v);
+                }
+            }
+
+            #[test]
+            fn word_decoders_agree_with_unpack(byte in 0u8..=255) {
+                prop_assert_eq!(decode_w4(byte).to_vec(), unpack(&[byte], Bitwidth::W4, 2));
+                prop_assert_eq!(decode_w2(byte).to_vec(), unpack(&[byte], Bitwidth::W2, 4));
             }
         }
     }

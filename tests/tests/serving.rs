@@ -2,6 +2,12 @@
 //! by per-thread `Session`s must produce **bit-identical** outputs to the
 //! single-threaded path — the contract that lets a server fan requests
 //! out without re-compiling or locking anything.
+//!
+//! Bit equality survives the tiled float micro-kernels' summation
+//! reassociation because every thread runs the same kernels and the run
+//! decomposition depends only on tap geometry, never on thread count or
+//! scheduling. (Kernel-vs-naive float parity is the ULP-bounded contract;
+//! see `crates/nn/tests/kernel_parity.rs`.)
 
 use std::sync::Arc;
 
