@@ -2,9 +2,10 @@
 //! planning-speed trajectory is machine-readable across revisions.
 //!
 //! Runs `Planner::plan` over a ~32-image synthetic calibration set at a
-//! sweep of worker counts, reports wall clock and speedup versus serial,
-//! and cross-checks that every worker count produced a bit-identical
-//! plan (the determinism contract the parallel prologue guarantees).
+//! sweep of worker counts, reports wall clock, a per-stage breakdown
+//! (prologue / VDPC / entropy / VDQS) and speedup versus serial, and
+//! cross-checks that every worker count produced a bit-identical plan
+//! (the determinism contract the pooled planner guarantees).
 //!
 //! Set `QUANTMCU_SMOKE=1` to shrink the calibration set and repetition
 //! count for CI smoke runs.
@@ -13,26 +14,33 @@ use std::time::{Duration, Instant};
 
 use quantmcu::models::Model;
 use quantmcu::tensor::Tensor;
-use quantmcu::{DeploymentPlan, Planner, QuantMcuConfig};
+use quantmcu::{DeploymentPlan, PlanStats, Planner, QuantMcuConfig};
 use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
 
-/// Best-of-N wall clock for one worker count, plus the produced plan.
+/// Best-of-N wall clock for one worker count, plus the produced plan and
+/// the stage breakdown of the fastest repetition.
 fn measure(
     graph: &quantmcu::nn::Graph,
     calib: &[Tensor],
     workers: usize,
     reps: usize,
-) -> (Duration, DeploymentPlan) {
+) -> (Duration, DeploymentPlan, PlanStats) {
     let planner = Planner::new(QuantMcuConfig { workers, ..QuantMcuConfig::paper() });
     let mut best = Duration::MAX;
-    let mut plan = None;
+    let mut kept = None;
     for _ in 0..reps {
         let start = Instant::now();
-        let p = planner.plan(graph, calib, EXEC_SRAM).expect("plan");
-        best = best.min(start.elapsed());
-        plan = Some(p);
+        let (p, stats) = planner.plan_with_stats(graph, calib, EXEC_SRAM).expect("plan");
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+            kept = Some((p, stats));
+        } else if kept.is_none() {
+            kept = Some((p, stats));
+        }
     }
-    (best, plan.expect("at least one rep"))
+    let (plan, stats) = kept.expect("at least one rep");
+    (best, plan, stats)
 }
 
 fn main() {
@@ -43,15 +51,15 @@ fn main() {
     let host_parallelism = quantmcu::default_workers();
 
     println!("Planner throughput: {images}-image calibration set, best of {reps}\n");
-    let (serial_time, serial_plan) = measure(&graph, &calib, 1, reps);
+    let (serial_time, serial_plan, serial_stats) = measure(&graph, &calib, 1, reps);
     let serial_plan = serial_plan.timeless();
     let mut rows = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let (time, plan) = if workers == 1 {
-            (serial_time, serial_plan.clone())
+        let (time, plan, stats) = if workers == 1 {
+            (serial_time, serial_plan.clone(), serial_stats)
         } else {
-            let (t, p) = measure(&graph, &calib, workers, reps);
-            (t, p.timeless())
+            let (t, p, s) = measure(&graph, &calib, workers, reps);
+            (t, p.timeless(), s)
         };
         let identical = plan == serial_plan;
         let speedup = serial_time.as_secs_f64() / time.as_secs_f64();
@@ -59,11 +67,23 @@ fn main() {
             "  workers = {workers}: {:8.1} ms  speedup {speedup:4.2}x  bit-identical: {identical}",
             time.as_secs_f64() * 1e3
         );
+        println!(
+            "      stages: prologue {:6.1} ms | vdpc {:5.1} ms | entropy {:6.1} ms | vdqs {:5.1} ms",
+            stats.prologue.as_secs_f64() * 1e3,
+            stats.vdpc.as_secs_f64() * 1e3,
+            stats.entropy.as_secs_f64() * 1e3,
+            stats.vdqs.as_secs_f64() * 1e3
+        );
         assert!(identical, "worker count {workers} changed the plan");
         rows.push(format!(
             "    {{\"workers\": {workers}, \"seconds\": {:.6}, \"speedup\": {speedup:.4}, \
-             \"bit_identical\": {identical}}}",
-            time.as_secs_f64()
+             \"bit_identical\": {identical}, \"stages\": {{\"prologue\": {:.6}, \
+             \"vdpc\": {:.6}, \"entropy\": {:.6}, \"vdqs\": {:.6}}}}}",
+            time.as_secs_f64(),
+            stats.prologue.as_secs_f64(),
+            stats.vdpc.as_secs_f64(),
+            stats.entropy.as_secs_f64(),
+            stats.vdqs.as_secs_f64()
         ));
     }
 

@@ -183,6 +183,67 @@ impl Engine {
         Ok(Planner::new(self.cfg.clone()).plan(&self.graph, &images, self.budget.bytes())?)
     }
 
+    /// Plans one deployment per budget in `budgets` (in order), sharing
+    /// every budget-independent planning stage across budgets that fit
+    /// the same patch split — the calibration prologue, VDPC pass and
+    /// entropy/score tables are computed once per split point, so a
+    /// ladder of `B` budgets costs roughly one full plan plus `B - 1`
+    /// VDQS searches. Each plan is bit-identical to what
+    /// [`Engine::plan`] at that budget produces.
+    ///
+    /// The engine's own budget is ignored; the static analyzer runs once
+    /// against the *widest* swept budget (per-rung feasibility is what
+    /// the sweep itself establishes).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first budget (lowest index) any stage fails for; use
+    /// [`Engine::plan_sweep_each`] to keep per-budget outcomes.
+    pub fn plan_sweep<'a>(
+        &self,
+        calibration: impl CalibrationSource<'a>,
+        budgets: &[SramBudget],
+    ) -> Result<Vec<DeploymentPlan>, Error> {
+        self.verify_for_sweep(budgets)?;
+        let images = calibration.into_images();
+        let bytes: Vec<usize> = budgets.iter().map(|b| b.bytes()).collect();
+        Ok(Planner::new(self.cfg.clone()).plan_sweep(&self.graph, &images, &bytes)?)
+    }
+
+    /// [`Engine::plan_sweep`] with per-budget outcomes: a budget whose
+    /// patch fit or VDQS search fails yields an `Err` in its slot without
+    /// failing the budgets that do plan — the fleet-exploration building
+    /// block (see [`crate::fleet`]).
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is reserved for failures no budget can escape: a
+    /// rejected graph, an empty calibration set, or an uncompilable graph.
+    pub fn plan_sweep_each<'a>(
+        &self,
+        calibration: impl CalibrationSource<'a>,
+        budgets: &[SramBudget],
+    ) -> Result<Vec<Result<DeploymentPlan, crate::error::PlanError>>, Error> {
+        self.verify_for_sweep(budgets)?;
+        let images = calibration.into_images();
+        let bytes: Vec<usize> = budgets.iter().map(|b| b.bytes()).collect();
+        Ok(Planner::new(self.cfg.clone()).plan_sweep_each(&self.graph, &images, &bytes)?)
+    }
+
+    /// Sweep-time verification: the analyzer's budget-feasibility checks
+    /// run against the widest swept budget (falling back to the engine's
+    /// own when `budgets` is empty) so one tight rung cannot veto the
+    /// whole sweep.
+    fn verify_for_sweep(&self, budgets: &[SramBudget]) -> Result<(), Error> {
+        let widest = budgets.iter().copied().max().unwrap_or(self.budget);
+        let cfg = AnalysisConfig::for_engine(&self.cfg, widest);
+        let report = crate::analysis::analyze(&self.graph, &cfg);
+        if report.has_errors() {
+            return Err(Error::Analysis(report));
+        }
+        Ok(())
+    }
+
     /// Builds a *uniform* plan at `bits` over the same patch schedule —
     /// the MCUNetV2-style baseline, runnable through the same
     /// [`Deployment`] machinery.
@@ -357,6 +418,33 @@ mod tests {
             .unwrap()
             .timeless();
         assert_eq!(via_engine, via_planner);
+    }
+
+    #[test]
+    fn engine_sweep_matches_independent_engine_plans() {
+        let g = graph();
+        let budgets = [SramBudget::kib(8), SramBudget::kib(64), SramBudget::kib(256)];
+        let engine = Engine::builder(g).build();
+        let sweep = engine.plan_sweep(calib(4), &budgets).unwrap();
+        assert_eq!(sweep.len(), budgets.len());
+        for (plan, &budget) in sweep.into_iter().zip(&budgets) {
+            let single = Engine::builder(engine.graph().clone())
+                .config(engine.config().clone())
+                .sram_budget(budget)
+                .build()
+                .plan(calib(4))
+                .unwrap();
+            assert_eq!(plan.timeless(), single.timeless(), "diverged at {budget}");
+        }
+    }
+
+    #[test]
+    fn engine_sweep_each_keeps_workable_budgets() {
+        let engine = Engine::builder(graph()).build();
+        let outcomes =
+            engine.plan_sweep_each(calib(3), &[SramBudget::new(64), SramBudget::kib(256)]).unwrap();
+        assert!(outcomes[0].is_err());
+        assert!(outcomes[1].is_ok());
     }
 
     #[test]

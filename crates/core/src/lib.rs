@@ -95,6 +95,7 @@ mod config;
 mod deploy;
 mod engine;
 mod error;
+pub mod fleet;
 mod pipeline;
 mod plan;
 mod serve;
@@ -105,7 +106,8 @@ pub use config::{default_workers, QuantMcuConfig};
 pub use deploy::{Deployment, Session};
 pub use engine::{Engine, EngineBuilder, SramBudget};
 pub use error::{Error, PlanError};
-pub use pipeline::Planner;
+pub use fleet::{plan_fleet, FleetModel, FleetPoint, FleetReport};
+pub use pipeline::{PlanStats, Planner};
 pub use plan::DeploymentPlan;
 pub use serve::{ServeError, Server, ServerBuilder, ServerStats, Ticket};
 

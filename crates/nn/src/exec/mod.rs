@@ -12,7 +12,9 @@
 //! [`batch::stream_chunks`]) with deterministic, input-ordered results,
 //! and the [`pool`] module provides [`WorkerPool`] — the persistent
 //! counterpart (long-lived workers, bounded micro-batching queue) that
-//! serving runtimes keep warm across calls.
+//! serving runtimes keep warm across calls — plus [`ScopedPool`], the
+//! scope-bound middle ground (one spawn/join round, many ordered maps
+//! over borrowed data) that the planner drives all its fan-outs through.
 //!
 //! All execution dispatches into the shared op-kernel layer in
 //! [`crate::kernels`] — one cache-blocked, register-tiled loop nest per
@@ -50,5 +52,5 @@ mod quantized;
 
 pub use compile::{CompiledGraph, ExecState};
 pub use float::FloatExecutor;
-pub use pool::{PoolError, PoolJob, WorkerPool};
+pub use pool::{PoolError, PoolJob, ScopedJob, ScopedPool, WorkerPool};
 pub use quantized::{calibrate_ranges, QuantExecutor};

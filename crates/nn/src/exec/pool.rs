@@ -34,7 +34,18 @@
 //! stop accepting new jobs, let the workers drain everything already
 //! queued, then join them — no job accepted into the queue is ever
 //! dropped.
+//!
+//! [`ScopedPool`] sits between the two worlds: like [`WorkerPool`] it
+//! keeps one set of worker threads and per-worker states alive across
+//! *many* ordered-map calls (one spawn/join round total, not one per
+//! stage), but its workers live inside a caller-provided
+//! [`std::thread::scope`], so jobs may borrow from the enclosing stack
+//! frame — no `'static` bound, no `unsafe`. This is the planner's shape:
+//! a dozen heterogeneous fan-outs over borrowed calibration data within
+//! one `plan()` call, where fresh scoped threads per stage used to burn
+//! more time spawning than working.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
@@ -301,6 +312,178 @@ impl<S> Drop for WorkerPool<S> {
     }
 }
 
+/// A job for a [`ScopedPool`]: a one-shot closure run with exclusive
+/// access to one worker's state, allowed to borrow from the enclosing
+/// scope's environment.
+pub type ScopedJob<'env, S> = Box<dyn FnOnce(&mut S) + Send + 'env>;
+
+/// A worker pool whose threads live inside a caller-provided
+/// [`std::thread::scope`] — the reusable-pool shape for borrow-heavy
+/// one-call pipelines (see the [module docs](self)).
+///
+/// Two modes share one API:
+///
+/// * **Spawned** ([`ScopedPool::spawned`] with `workers >= 2`): `workers`
+///   threads are spawned once into the scope, each building its state
+///   in-thread via `make_state(worker_index)`, and every subsequent
+///   [`map`](Self::map) feeds them through one shared job queue. Workers
+///   exit when the pool is dropped (the scope's end joins them).
+/// * **Inline** ([`ScopedPool::inline`], or `spawned` with
+///   `workers <= 1`): no threads at all; `map` runs the items serially on
+///   the calling thread against a single lazily-built state — bit-for-bit
+///   the serial path, which is how `workers = 1` planning stays exactly
+///   the reference implementation.
+///
+/// Jobs and results may borrow anything that outlives the scope
+/// (`'env`); data created *between* two `map` calls moves into the jobs
+/// by value or via `Arc`.
+pub struct ScopedPool<'env, S> {
+    inner: ScopedInner<'env, S>,
+}
+
+enum ScopedInner<'env, S> {
+    Inline { state: RefCell<Option<S>>, make_state: Box<dyn Fn(usize) -> S + 'env> },
+    Spawned { tx: mpsc::Sender<ScopedJob<'env, S>>, workers: usize },
+}
+
+impl<S> fmt::Debug for ScopedPool<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScopedPool").field("workers", &self.workers()).finish()
+    }
+}
+
+impl<'env, S> ScopedPool<'env, S> {
+    /// An inline pool: no threads, one lazily-built state, serial `map`.
+    pub fn inline(make_state: impl Fn(usize) -> S + 'env) -> Self {
+        ScopedPool {
+            inner: ScopedInner::Inline {
+                state: RefCell::new(None),
+                make_state: Box::new(make_state),
+            },
+        }
+    }
+
+    /// Spawns `workers` pool threads into `scope`, each owning the state
+    /// returned by `make_state(worker_index)` (built inside the thread,
+    /// so `S` itself need not be `Send`). `workers <= 1` degrades to
+    /// [`ScopedPool::inline`] — no thread is spawned and `map` is exactly
+    /// the serial loop.
+    ///
+    /// The pool must be dropped before the scope closes (any normal usage
+    /// does this); dropping it disconnects the job queue and lets the
+    /// workers run to completion.
+    pub fn spawned<'scope>(
+        scope: &'scope thread::Scope<'scope, 'env>,
+        workers: usize,
+        make_state: impl Fn(usize) -> S + Send + Sync + 'env,
+    ) -> Self
+    where
+        S: 'env,
+    {
+        if workers <= 1 {
+            return ScopedPool::inline(make_state);
+        }
+        let (tx, rx) = mpsc::channel::<ScopedJob<'env, S>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let make_state = Arc::new(make_state);
+        for index in 0..workers {
+            let rx = Arc::clone(&rx);
+            let make_state = Arc::clone(&make_state);
+            scope.spawn(move || {
+                let mut state = make_state(index);
+                loop {
+                    // Hold the queue lock only for the blocking receive;
+                    // the job itself runs lock-free.
+                    let job = {
+                        let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(&mut state),
+                        Err(_) => break, // pool dropped and queue drained
+                    }
+                }
+            });
+        }
+        ScopedPool { inner: ScopedInner::Spawned { tx, workers } }
+    }
+
+    /// The effective worker count: 1 for inline pools.
+    pub fn workers(&self) -> usize {
+        match &self.inner {
+            ScopedInner::Inline { .. } => 1,
+            ScopedInner::Spawned { workers, .. } => *workers,
+        }
+    }
+
+    /// The ordered parallel map, by-value flavor: every item moves into
+    /// its job, `run` consumes it against a worker state, and the results
+    /// come back **in item order** — deterministic for every worker
+    /// count, because each item's result depends only on that item
+    /// (states are reusable scratch, not accumulators). Items are pulled
+    /// from one shared queue, so unevenly-sized jobs balance dynamically
+    /// across the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed failing item's error. In spawned mode
+    /// every job still runs to completion first; inline mode stops at the
+    /// first error (which is the lowest-indexed one by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job panicked on a worker (the batch can no longer be
+    /// completed).
+    pub fn map<T, R, E, F>(&self, items: Vec<T>, run: F) -> Result<Vec<R>, E>
+    where
+        T: Send + 'env,
+        R: Send + 'env,
+        E: Send + 'env,
+        F: Fn(&mut S, T) -> Result<R, E> + Send + Sync + 'env,
+    {
+        match &self.inner {
+            ScopedInner::Inline { state, make_state } => {
+                let mut guard = state.borrow_mut();
+                let state = guard.get_or_insert_with(|| make_state(0));
+                items.into_iter().map(|item| run(state, item)).collect()
+            }
+            ScopedInner::Spawned { tx, .. } => {
+                let n = items.len();
+                let run = Arc::new(run);
+                let (out_tx, out_rx) = mpsc::channel::<(usize, Result<R, E>)>();
+                for (index, item) in items.into_iter().enumerate() {
+                    let run = Arc::clone(&run);
+                    let out = out_tx.clone();
+                    let job: ScopedJob<'env, S> = Box::new(move |state| {
+                        let _ = out.send((index, run(state, item)));
+                    });
+                    tx.send(job).expect("scoped pool workers exited early");
+                }
+                drop(out_tx);
+                let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+                let mut first_err: Option<(usize, E)> = None;
+                for (index, result) in out_rx {
+                    match result {
+                        Ok(r) => slots[index] = Some(r),
+                        Err(e) => {
+                            if first_err.as_ref().map_or(true, |(i, _)| index < *i) {
+                                first_err = Some((index, e));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, e)) = first_err {
+                    return Err(e);
+                }
+                Ok(slots
+                    .into_iter()
+                    .map(|slot| slot.expect("a scoped-pool worker dropped a job (worker panic?)"))
+                    .collect())
+            }
+        }
+    }
+}
+
 /// Blocks for the next job, then drains more without blocking — all
 /// under one queue-lock acquisition. Returns `None` once the channel is
 /// disconnected **and** empty, i.e. after a closed pool has been fully
@@ -447,5 +630,88 @@ mod tests {
         assert_eq!(pool.capacity(), 1);
         assert_eq!(pool.max_batch(), 1);
         assert!(pool.map(Vec::<u8>::new(), |(), _| Ok::<_, ()>(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scoped_pool_maps_in_item_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..29).collect();
+        let serial = {
+            let pool: ScopedPool<'_, ()> = ScopedPool::inline(|_| ());
+            pool.map(items.clone(), |(), i| Ok::<usize, ()>(i * 3 + 1)).unwrap()
+        };
+        for workers in [1, 2, 3, 7] {
+            let pooled = thread::scope(|scope| {
+                let pool = ScopedPool::spawned(scope, workers, |_| ());
+                pool.map(items.clone(), |(), i| Ok::<usize, ()>(i * 3 + 1)).unwrap()
+            });
+            assert_eq!(serial, pooled, "worker count {workers} changed the mapping");
+        }
+    }
+
+    #[test]
+    fn scoped_pool_jobs_may_borrow_the_enclosing_frame() {
+        // The whole point of the scoped flavor: no 'static bound on jobs.
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let sums = thread::scope(|scope| {
+            let pool = ScopedPool::spawned(scope, 3, |_| ());
+            pool.map(vec![0usize, 25, 50, 75], |(), start| {
+                Ok::<f32, ()>(data[start..start + 25].iter().sum())
+            })
+            .unwrap()
+        });
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<f32>(), data.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn scoped_pool_is_reusable_across_many_map_calls() {
+        // One spawn round, several heterogeneous stages — the planner's
+        // usage pattern. Worker states must persist across calls.
+        let calls = thread::scope(|scope| {
+            let pool = ScopedPool::spawned(scope, 2, |_| 0u64);
+            for _ in 0..5 {
+                pool.map((0..8usize).collect(), |seen, i| {
+                    *seen += 1;
+                    Ok::<usize, ()>(i)
+                })
+                .unwrap();
+            }
+            pool.map(vec![(); 2], |seen, ()| Ok::<u64, ()>(*seen)).unwrap()
+        });
+        // 5 calls x 8 jobs + the 2 probe jobs ran *somewhere* on the two
+        // persistent states; the probes see every job their worker ran.
+        assert_eq!(calls.len(), 2);
+        assert!(calls.iter().all(|&c| c >= 1), "a worker state was rebuilt: {calls:?}");
+    }
+
+    #[test]
+    fn scoped_pool_returns_lowest_indexed_error() {
+        let inline_err = {
+            let pool: ScopedPool<'_, ()> = ScopedPool::inline(|_| ());
+            pool.map((0..9usize).collect(), |(), i| if i % 4 == 3 { Err(i) } else { Ok(i) })
+        };
+        assert_eq!(inline_err, Err(3));
+        let pooled_err = thread::scope(|scope| {
+            let pool: ScopedPool<'_, ()> = ScopedPool::spawned(scope, 3, |_| ());
+            pool.map((0..9usize).collect(), |(), i| if i % 4 == 3 { Err(i) } else { Ok(i) })
+        });
+        assert_eq!(pooled_err, Err(3));
+    }
+
+    #[test]
+    fn scoped_pool_single_worker_is_inline() {
+        // workers <= 1 must not spawn: state index 0, serial semantics.
+        let indices = Arc::new(Mutex::new(Vec::new()));
+        thread::scope(|scope| {
+            let pool = {
+                let indices = Arc::clone(&indices);
+                ScopedPool::spawned(scope, 1, move |i| {
+                    indices.lock().unwrap().push(i);
+                })
+            };
+            assert_eq!(pool.workers(), 1);
+            pool.map(vec![(); 3], |(), ()| Ok::<(), ()>(())).unwrap();
+        });
+        assert_eq!(*indices.lock().unwrap(), vec![0]);
     }
 }

@@ -838,8 +838,8 @@ fn for_row_runs(shape: Shape, region: Region, mut f: impl FnMut(usize, usize)) {
 /// The float functions allocate their outputs and use per-element
 /// index arithmetic; the `*_q` functions are the scalar integer ground
 /// truth — textbook `(q - zp) · w` loops folding straight into an `i64`
-/// accumulator — that [`IntDot`](super::IntDot) and
-/// [`PackedDot`](super::PackedDot) must match **bit-for-bit**.
+/// accumulator — that [`IntDot`] and [`PackedDot`] must match
+/// **bit-for-bit**.
 pub mod naive {
     use quantmcu_tensor::{Shape, Tensor};
 

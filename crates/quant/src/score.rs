@@ -48,7 +48,10 @@ pub struct ScoredCandidate {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreTable {
     /// `rows[i]` holds feature map `i`'s candidates in input order.
-    pub rows: Vec<Vec<ScoredCandidate>>,
+    rows: Vec<Vec<ScoredCandidate>>,
+    /// `sorted[i]` holds the same candidates by descending score —
+    /// computed once at build time (see [`ScoreTable::sorted_candidates`]).
+    sorted: Vec<Vec<ScoredCandidate>>,
 }
 
 impl ScoreTable {
@@ -85,7 +88,7 @@ impl ScoreTable {
         }
         let h_last = entropy.full.last().copied().unwrap_or(0.0).max(1e-12);
         let fm_count = entropy.full.len() as f64;
-        let rows = (0..entropy.full.len())
+        let rows: Vec<Vec<ScoredCandidate>> = (0..entropy.full.len())
             .map(|i| {
                 cfg.candidates
                     .iter()
@@ -108,19 +111,40 @@ impl ScoreTable {
                     .collect()
             })
             .collect();
-        Ok(ScoreTable { rows })
+        // Sort every row by descending score once, here, instead of
+        // re-cloning and re-sorting on each `sorted_candidates` call (the
+        // VDQS repair loop reads these rows constantly). `f64::total_cmp`
+        // makes the sort a strict total order — the previous
+        // `partial_cmp(..).unwrap_or(Equal)` comparator silently treated
+        // NaN scores as ties, leaving the candidate order NaN-dependent.
+        // Planner scores are never NaN or -0.0 (ΔH is clamped at +0.0 and
+        // Φ is non-negative), so the stable sort produces exactly the
+        // order the old comparator did on every reachable input.
+        let sorted = rows
+            .iter()
+            .map(|row| {
+                let mut row = row.clone();
+                row.sort_by(|a, b| b.score.total_cmp(&a.score));
+                row
+            })
+            .collect();
+        Ok(ScoreTable { rows, sorted })
+    }
+
+    /// `rows()[i]` holds feature map `i`'s candidates in input order.
+    pub fn rows(&self) -> &[Vec<ScoredCandidate>] {
+        &self.rows
     }
 
     /// Feature map `i`'s candidates sorted by descending score (the
-    /// `t^i_1..t^i_m` sets of Algorithm 1).
+    /// `t^i_1..t^i_m` sets of Algorithm 1). Precomputed at build time —
+    /// this accessor is allocation- and sort-free.
     ///
     /// # Panics
     ///
     /// Panics when `i` is out of range.
-    pub fn sorted_candidates(&self, i: usize) -> Vec<ScoredCandidate> {
-        let mut row = self.rows[i].clone();
-        row.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-        row
+    pub fn sorted_candidates(&self, i: usize) -> &[ScoredCandidate] {
+        &self.sorted[i]
     }
 
     /// Number of feature maps in the table.

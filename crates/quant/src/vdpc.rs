@@ -86,6 +86,24 @@ impl VdpcClassifier {
         Ok(VdpcClassifier { moments, rule })
     }
 
+    /// [`VdpcClassifier::fit`] over a sample stored in parts — one
+    /// `&[f32]` per calibration image, visited in order. Bit-identical to
+    /// fitting the flattened concatenation (see
+    /// [`stats::moments_parts`]), without ever materializing it: this is
+    /// how the planner fits the input-map Gaussian across the whole
+    /// calibration set with zero copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Statistics`] when the parts hold no values.
+    pub fn fit_parts<'a, I>(parts: I, rule: OutlierRule) -> Result<Self, QuantError>
+    where
+        I: IntoIterator<Item = &'a [f32]> + Clone,
+    {
+        let moments = stats::moments_parts(parts)?;
+        Ok(VdpcClassifier { moments, rule })
+    }
+
     /// The fitted µ and σ.
     pub fn moments(&self) -> Moments {
         self.moments
@@ -138,6 +156,31 @@ impl VdpcClassifier {
                 Ok(self.classify_values(patch.data()))
             })
             .collect()
+    }
+
+    /// Classifies one region of a stage-output tensor **without
+    /// materializing a crop**: the region's rows are walked in place (all
+    /// batch items and channels) and the scan exits at the first outlier.
+    /// Verdict-identical to `classify_values(t.crop(region)?.data())` —
+    /// the alloc-free form the planner's per-tile classification uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Statistics`] when the region is out of
+    /// bounds.
+    pub fn classify_region(&self, t: &Tensor, region: Region) -> Result<PatchClass, QuantError> {
+        let s = t.shape();
+        region.check_within(s.h, s.w)?;
+        let run = region.w * s.c;
+        for n in 0..s.n {
+            for y in region.y..region.y_end() {
+                let start = s.index(n, y, region.x, 0);
+                if t.data()[start..start + run].iter().any(|&v| self.is_outlier(v)) {
+                    return Ok(PatchClass::Outlier);
+                }
+            }
+        }
+        Ok(PatchClass::NonOutlier)
     }
 
     /// The per-value outlier mask of a sample (the Fig. 2b separation).
@@ -246,6 +289,45 @@ mod tests {
     #[test]
     fn empty_sample_is_an_error() {
         assert!(VdpcClassifier::fit(&[], OutlierRule::CentralMass { phi: 0.9 }).is_err());
+        let no_parts: [&[f32]; 2] = [&[], &[]];
+        assert!(VdpcClassifier::fit_parts(no_parts, OutlierRule::CentralMass { phi: 0.9 }).is_err());
+    }
+
+    #[test]
+    fn fit_parts_is_bit_identical_to_flat_fit() {
+        let v = sample_with_outliers();
+        let rule = OutlierRule::CentralMass { phi: 0.96 };
+        let flat = VdpcClassifier::fit(&v, rule).unwrap();
+        for cut in [1, v.len() / 3, v.len() - 1] {
+            let parts = [&v[..cut], &v[cut..]];
+            let streamed = VdpcClassifier::fit_parts(parts, rule).unwrap();
+            assert_eq!(streamed.moments(), flat.moments(), "cut at {cut} changed the fit");
+        }
+    }
+
+    #[test]
+    fn classify_region_matches_crop_classification() {
+        let v = sample_with_outliers();
+        let clf = VdpcClassifier::fit(&v, OutlierRule::CentralMass { phi: 0.96 }).unwrap();
+        let t = Tensor::from_fn(Shape::hwc(6, 6, 2), |i| {
+            if i == 37 {
+                9.5 // one far outlier inside an interior region
+            } else {
+                ((i * 7919) % 997) as f32 / 997.0 - 0.5
+            }
+        });
+        for region in [
+            Region::new(0, 0, 3, 3),
+            Region::new(3, 3, 3, 3),
+            Region::new(0, 3, 3, 3),
+            Region::new(2, 1, 4, 5),
+            Region::new(0, 0, 6, 6),
+        ] {
+            let via_crop = clf.classify_values(t.crop(region).unwrap().data());
+            let in_place = clf.classify_region(&t, region).unwrap();
+            assert_eq!(in_place, via_crop, "region {region:?} verdict diverged");
+        }
+        assert!(clf.classify_region(&t, Region::new(4, 4, 4, 4)).is_err(), "oob must error");
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub fn determine_bitwidths(
     if n == 0 {
         return Err(QuantError::MalformedInput { detail: "score table is empty" });
     }
-    let sorted: Vec<Vec<ScoredCandidate>> = (0..n).map(|i| table.sorted_candidates(i)).collect();
-    if sorted.iter().any(Vec::is_empty) {
+    let sorted: Vec<&[ScoredCandidate]> = (0..n).map(|i| table.sorted_candidates(i)).collect();
+    if sorted.iter().any(|row| row.is_empty()) {
         return Err(QuantError::MalformedInput { detail: "a feature map has no candidates" });
     }
     // Lines 1-7: greedy initialization by descending score.
@@ -93,7 +93,7 @@ pub fn determine_bitwidths(
 /// Lines 12-19: one traversal. `r = 1` walks pairs left-to-right adjusting
 /// the latter map; `r = -1` walks right-to-left adjusting the former.
 fn traverse(
-    sorted: &[Vec<ScoredCandidate>],
+    sorted: &[&[ScoredCandidate]],
     bits: &mut [Bitwidth],
     mem: &impl Fn(usize, Bitwidth) -> usize,
     budget: usize,
@@ -122,7 +122,7 @@ fn traverse(
 /// exists (`k + 1 < m`) and it is at least as memory-hungry as its
 /// neighbor (shrinking the larger map first, the paper's tie rule).
 fn need_change(
-    sorted: &[Vec<ScoredCandidate>],
+    sorted: &[&[ScoredCandidate]],
     bits: &[Bitwidth],
     mem: &impl Fn(usize, Bitwidth) -> usize,
     budget: usize,
@@ -139,7 +139,7 @@ fn need_change(
 
 /// The smallest possible footprint of pair `(i, i+1)` over all candidates.
 fn min_pair_bytes(
-    sorted: &[Vec<ScoredCandidate>],
+    sorted: &[&[ScoredCandidate]],
     mem: &impl Fn(usize, Bitwidth) -> usize,
     i: usize,
 ) -> usize {

@@ -1,0 +1,90 @@
+//! Property tests pinning the fused entropy engine **bit-identical** to
+//! the retained `entropy::naive` oracle.
+//!
+//! The fused path replaces naive's `3 + 7·C` passes per feature map
+//! (moments re-scans, dequantized `Vec<f32>` copies, fresh histograms)
+//! with one min/max pass, one full-precision histogram, and one
+//! LUT-scatter pass per candidate — but it applies *exactly* the same
+//! arithmetic to every value, so every output must match to the last
+//! mantissa bit across arbitrary samples, candidate sets and bin counts.
+//! This is the contract that lets the planner swap the fast path in
+//! without perturbing a single deployment plan.
+
+use proptest::prelude::*;
+
+use quantmcu_quant::entropy::{self, naive};
+use quantmcu_tensor::Bitwidth;
+
+/// Deterministic pseudo-random sample with tunable spread and offset;
+/// optionally salted with NaN values (which the range fold and the bin
+/// clamp must treat exactly as the oracle does).
+fn sample(len: usize, seed: u64, spread: f32, offset: f32, nans: usize) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..len)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            ((x >> 16) as f32 * 1e-6).sin() * spread + offset
+        })
+        .collect();
+    for j in 0..nans.min(len) {
+        let at = ((seed as usize).wrapping_mul(31).wrapping_add(j * 97)) % len;
+        v[at] = f32::NAN;
+    }
+    v
+}
+
+/// Bit-level equality for f64 — `==` would paper over -0.0 vs 0.0.
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fused_rows_match_naive_bit_for_bit(
+        len in 1usize..3000,
+        seed in 0u64..10_000,
+        spread in prop::sample::select(vec![1e-6f32, 0.5, 3.0, 1000.0]),
+        offset in prop::sample::select(vec![-5.0f32, 0.0, 0.25, 100.0]),
+        k in prop::sample::select(vec![1usize, 2, 31, 32, 512, 513]),
+        nans in 0usize..3,
+    ) {
+        let v = sample(len, seed, spread, offset, nans);
+        let candidates = [Bitwidth::W8, Bitwidth::W4, Bitwidth::W2];
+        let (h_fast, row_fast) = entropy::table_row(&v, &candidates, k).unwrap();
+        let (h_slow, row_slow) = naive::table_row(&v, &candidates, k).unwrap();
+        prop_assert!(bits_eq(h_fast, h_slow), "H diverged: {h_fast} vs {h_slow}");
+        for (j, (f, s)) in row_fast.iter().zip(&row_slow).enumerate() {
+            prop_assert!(bits_eq(*f, *s), "ΔH[{j}] diverged: {f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn fused_tables_match_naive_bit_for_bit(
+        maps in 1usize..6,
+        len in 1usize..800,
+        seed in 0u64..10_000,
+        k in prop::sample::select(vec![1usize, 32, 512]),
+    ) {
+        let fms: Vec<Vec<f32>> = (0..maps)
+            .map(|m| sample(len, seed ^ (m as u64 * 0x9E37), 1.0 + m as f32, -0.5, 0))
+            .collect();
+        let fast = entropy::build_table(&fms, &Bitwidth::SEARCH_CANDIDATES, k).unwrap();
+        let slow = naive::build_table(&fms, &Bitwidth::SEARCH_CANDIDATES, k).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn constant_and_degenerate_samples_agree(
+        len in 1usize..64,
+        value in prop::sample::select(vec![0.0f32, -0.0, 1.0, -3.5, 1e-30, 1e30]),
+        k in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        let v = vec![value; len];
+        for b in Bitwidth::SEARCH_CANDIDATES {
+            let fast = entropy::entropy_reduction(&v, b, k).unwrap();
+            let slow = naive::entropy_reduction(&v, b, k).unwrap();
+            prop_assert!(bits_eq(fast, slow), "{b} diverged on constant {value}: {fast} vs {slow}");
+        }
+    }
+}

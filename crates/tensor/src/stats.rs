@@ -48,6 +48,44 @@ pub fn moments(values: &[f32]) -> Result<Moments, TensorError> {
     Ok(Moments { mean: mean as f32, std: var.sqrt() as f32, min, max })
 }
 
+/// [`moments`] over a sample stored in several parts, visited in order —
+/// bit-identical to [`moments`] of the concatenation, without ever
+/// materializing it. This is how VDPC fits its Gaussian across a
+/// calibration set: one `&[f32]` per image, no flattened copy.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyTensor`] when the parts hold no values.
+pub fn moments_parts<'a, I>(parts: I) -> Result<Moments, TensorError>
+where
+    I: IntoIterator<Item = &'a [f32]> + Clone,
+{
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for part in parts.clone() {
+        n += part.len();
+        for &v in part {
+            sum += v as f64;
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if n == 0 {
+        return Err(TensorError::EmptyTensor);
+    }
+    let mean = sum / n as f64;
+    let mut var_sum = 0.0f64;
+    for part in parts {
+        for &v in part {
+            var_sum += (v as f64 - mean).powi(2);
+        }
+    }
+    let var = var_sum / n as f64;
+    Ok(Moments { mean: mean as f32, std: var.sqrt() as f32, min, max })
+}
+
 /// A uniform-bin histogram over a fixed range.
 ///
 /// This is the empirical distribution of Eq. (3): the activation range is
@@ -100,6 +138,18 @@ impl Histogram {
             counts[bin] += 1;
         }
         Histogram { counts, total: values.len() as u64, lo, hi }
+    }
+
+    /// Wraps precomputed bin counts into a histogram over a known
+    /// `[lo, hi]` range — the constructor for callers that already
+    /// scattered their values (the fused entropy engine's LUT pass) or
+    /// already know the range and don't want [`Histogram::build`]'s
+    /// moments re-scan. The total is the sum of the counts, exactly what
+    /// [`Histogram::build_in_range`] would have recorded for the same
+    /// scatter.
+    pub fn from_counts(counts: Vec<u64>, lo: f32, hi: f32) -> Self {
+        let total = counts.iter().sum();
+        Histogram { counts, total, lo, hi }
     }
 
     /// Bin occupancy counts (`x_j` in Eq. 3).
@@ -241,6 +291,35 @@ mod tests {
     #[test]
     fn moments_rejects_empty() {
         assert_eq!(moments(&[]), Err(TensorError::EmptyTensor));
+    }
+
+    #[test]
+    fn moments_parts_is_bit_identical_to_flat_moments() {
+        let flat: Vec<f32> = (0..1000).map(|i| ((i * 37) as f32 * 0.013).sin() * 3.0).collect();
+        let whole = moments(&flat).unwrap();
+        // Any partition of the sample — including empty parts — must
+        // reproduce the flat moments bit for bit.
+        for cuts in [vec![0, 1000], vec![0, 1, 1000], vec![0, 333, 333, 998, 1000]] {
+            let parts: Vec<&[f32]> = cuts.windows(2).map(|w| &flat[w[0]..w[1]]).collect();
+            let m = moments_parts(parts.iter().copied()).unwrap();
+            assert_eq!(m, whole, "partition {cuts:?} changed the moments");
+        }
+    }
+
+    #[test]
+    fn moments_parts_rejects_all_empty() {
+        assert_eq!(moments_parts([[].as_slice(), &[]]), Err(TensorError::EmptyTensor));
+        assert_eq!(moments_parts(std::iter::empty::<&[f32]>()), Err(TensorError::EmptyTensor));
+    }
+
+    #[test]
+    fn from_counts_matches_build_in_range() {
+        let values: Vec<f32> = (0..512).map(|i| (i as f32 * 0.037).sin()).collect();
+        let built = Histogram::build_in_range(&values, 16, -1.0, 1.0);
+        let wrapped = Histogram::from_counts(built.counts().to_vec(), -1.0, 1.0);
+        assert_eq!(wrapped, built);
+        assert_eq!(wrapped.total(), values.len() as u64);
+        assert_eq!(wrapped.entropy(), built.entropy());
     }
 
     #[test]
