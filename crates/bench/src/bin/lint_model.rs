@@ -1,4 +1,5 @@
-//! `lint_model` — static-analysis gate over the model zoo.
+//! `lint_model` — static-analysis gate over the model zoo and over
+//! imported model files.
 //!
 //! Runs the multi-pass analyzer (`quantmcu::nn::analyze`) over every
 //! zoo model at both exec scale and paper scale, with the SRAM budget
@@ -7,13 +8,19 @@
 //! catches a zoo model that regresses (dead nodes, shape breaks,
 //! overflowable accumulators, infeasible memory) before a plan runs.
 //!
-//! Usage: `lint_model [model-name ...]` — with no arguments every model
-//! is linted; names filter the zoo (case-insensitive substring match).
+//! Usage: `lint_model [model-name | model-file.qmcu ...]` — with no
+//! arguments every zoo model is linted. An argument naming an existing
+//! file is imported (`quantmcu::nn::import`) and linted with the same
+//! S/T/Q/M diagnostics; any other argument filters the zoo by name
+//! (case-insensitive substring match). When only files are given the
+//! zoo is skipped.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use quantmcu::models::{Model, ModelConfig};
 use quantmcu::nn::analyze::{analyze_spec, AnalyzeOptions, Severity};
+use quantmcu::nn::import::{load_model_from_path, ImportError};
 
 /// Budget for exec-scale specs: matches the serving default so the lint
 /// proves the whole zoo is plannable out of the box.
@@ -25,34 +32,94 @@ const EXEC_SCALE_SRAM: usize = 256 * 1024;
 const PAPER_SCALE_SRAM: usize = 32 * 1024 * 1024;
 
 fn main() -> ExitCode {
-    let filters: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let selected: Vec<Model> = Model::ALL
-        .into_iter()
-        .filter(|m| {
-            filters.is_empty() || filters.iter().any(|f| m.name().to_lowercase().contains(f))
-        })
-        .collect();
-    if selected.is_empty() {
-        eprintln!("lint_model: no zoo model matches {filters:?}");
-        return ExitCode::FAILURE;
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (files, filters): (Vec<String>, Vec<String>) =
+        args.into_iter().partition(|a| Path::new(a).is_file());
+    let filters: Vec<String> = filters.into_iter().map(|a| a.to_lowercase()).collect();
 
     let mut failures = 0usize;
-    for model in &selected {
-        for (scale, cfg, sram) in [
-            ("exec", ModelConfig::exec_scale(), EXEC_SCALE_SRAM),
-            ("paper", model.mcu_scale(PAPER_SCALE_SRAM / 1024, 1000), PAPER_SCALE_SRAM),
-        ] {
-            failures += lint(*model, scale, cfg, sram);
+    let mut linted = 0usize;
+
+    for file in &files {
+        failures += lint_file(file);
+        linted += 1;
+    }
+
+    // The zoo runs when name filters are given, or when there are no
+    // arguments at all (the historical default).
+    if !filters.is_empty() || files.is_empty() {
+        let selected: Vec<Model> = Model::ALL
+            .into_iter()
+            .filter(|m| {
+                filters.is_empty() || filters.iter().any(|f| m.name().to_lowercase().contains(f))
+            })
+            .collect();
+        if selected.is_empty() {
+            eprintln!("lint_model: no zoo model matches {filters:?}");
+            return ExitCode::FAILURE;
+        }
+        for model in &selected {
+            for (scale, cfg, sram) in [
+                ("exec", ModelConfig::exec_scale(), EXEC_SCALE_SRAM),
+                ("paper", model.mcu_scale(PAPER_SCALE_SRAM / 1024, 1000), PAPER_SCALE_SRAM),
+            ] {
+                failures += lint(*model, scale, cfg, sram);
+            }
+            linted += 1;
         }
     }
 
     if failures == 0 {
-        println!("lint_model: {} model(s) clean", selected.len());
+        println!("lint_model: {linted} model(s) clean");
         ExitCode::SUCCESS
     } else {
         eprintln!("lint_model: {failures} spec(s) with findings");
         ExitCode::FAILURE
+    }
+}
+
+/// Lints one imported model file; returns 1 on findings, 0 when clean.
+///
+/// The file goes through the full import path (decode → optimizer passes
+/// → analyzer-validated lowering); a clean import is then re-analyzed
+/// with the exec-scale SRAM budget so imported models face exactly the
+/// S/T/Q/M gate the zoo does.
+fn lint_file(path: &str) -> usize {
+    let graph = match load_model_from_path(path) {
+        Ok(g) => g,
+        Err(ImportError::Analysis(report)) => {
+            let findings: Vec<_> =
+                report.diagnostics().iter().filter(|d| d.severity >= Severity::Warning).collect();
+            println!("FAIL  {path:<24} import {} finding(s)", findings.len());
+            for d in findings {
+                println!("      {d}");
+            }
+            return 1;
+        }
+        Err(e) => {
+            println!("FAIL  {path:<24} import: {e}");
+            return 1;
+        }
+    };
+    let opts = AnalyzeOptions { sram_budget: Some(EXEC_SCALE_SRAM), ..AnalyzeOptions::default() };
+    let report = analyze_spec(graph.spec(), &opts);
+    let findings: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.severity >= Severity::Warning).collect();
+    if findings.is_empty() {
+        let notes = report.len();
+        println!(
+            "ok    {:<24} file  {} node(s){}",
+            path,
+            graph.spec().len(),
+            if notes > 0 { format!(", {notes} note(s)") } else { String::new() }
+        );
+        0
+    } else {
+        println!("FAIL  {path:<24} file  {} finding(s)", findings.len());
+        for d in findings {
+            println!("      {d}");
+        }
+        1
     }
 }
 

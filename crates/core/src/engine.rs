@@ -145,6 +145,53 @@ impl Engine {
         Engine::builder(graph).build()
     }
 
+    /// Starts building an engine from serialized `.qmcu` model bytes
+    /// (see [`quantmcu_nn::import`]): the model is decoded, run through
+    /// the graph-optimizer pass pipeline, validated by the static
+    /// analyzer, and lowered into an executable graph.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use quantmcu::{Engine, SramBudget};
+    /// use quantmcu::nn::{import, init, GraphSpecBuilder};
+    /// use quantmcu::tensor::Shape;
+    ///
+    /// let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+    ///     .conv2d(4, 3, 1, 1)
+    ///     .relu6()
+    ///     .global_avg_pool()
+    ///     .dense(10)
+    ///     .build()?;
+    /// let graph = init::with_structured_weights(spec, 42);
+    /// let bytes = import::save_model(&graph);
+    ///
+    /// let engine = Engine::import(&bytes)?.sram_budget(SramBudget::kib(256)).build();
+    /// assert_eq!(engine.graph().as_ref(), &graph);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Import`] when the bytes are damaged, use an unknown
+    /// opcode or format version, or fail analyzer validation.
+    pub fn import(bytes: &[u8]) -> Result<EngineBuilder, Error> {
+        let graph = quantmcu_nn::import::load_model(bytes)?;
+        Ok(Engine::builder(graph))
+    }
+
+    /// Starts building an engine from a `.qmcu` model file — the
+    /// file-path spelling of [`Engine::import`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Import`] when the file cannot be read or the model
+    /// cannot be imported (see [`Engine::import`]).
+    pub fn from_model_path(path: impl AsRef<std::path::Path>) -> Result<EngineBuilder, Error> {
+        let graph = quantmcu_nn::import::load_model_from_path(path)?;
+        Ok(Engine::builder(graph))
+    }
+
     /// The served network.
     pub fn graph(&self) -> &Arc<Graph> {
         &self.graph

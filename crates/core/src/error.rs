@@ -46,6 +46,10 @@ pub enum Error {
     /// the [`Report`](quantmcu_nn::analyze::Report) lists every
     /// diagnostic (see [`crate::analyze`]).
     Analysis(quantmcu_nn::analyze::Report),
+    /// A serialized model could not be imported (damaged file, unknown
+    /// opcode, version mismatch, analyzer rejection — see
+    /// [`quantmcu_nn::import`]).
+    Import(quantmcu_nn::import::ImportError),
 }
 
 impl fmt::Display for Error {
@@ -62,6 +66,7 @@ impl fmt::Display for Error {
                 }
                 Ok(())
             }
+            Error::Import(e) => write!(f, "model import failed: {e}"),
         }
     }
 }
@@ -74,7 +79,14 @@ impl std::error::Error for Error {
             Error::Patch(e) => Some(e),
             Error::Serve(e) => Some(e),
             Error::Analysis(report) => Some(report),
+            Error::Import(e) => Some(e),
         }
+    }
+}
+
+impl From<quantmcu_nn::import::ImportError> for Error {
+    fn from(e: quantmcu_nn::import::ImportError) -> Self {
+        Error::Import(e)
     }
 }
 

@@ -79,6 +79,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # Model import & graph optimizer
+//!
+//! Models need not come from the built-in zoo: [`Engine::import`] /
+//! [`Engine::from_model_path`] accept the versioned `.qmcu` serialized
+//! format ([`quantmcu_nn::import`]) — decode with typed
+//! [`Error::Import`] diagnostics, run the fixed-point graph-optimizer
+//! pass pipeline ([`quantmcu_nn::opt`]: bias/activation fusion, constant
+//! folding, identity removal, dead-node elimination), validate through
+//! the analyzer, and plan/deploy exactly like a zoo model.
+//!
 //! The borrow-based [`Planner`] façade
 //! (`Planner::new(cfg).plan(&graph, &images, bytes)`) remains for the
 //! paper-reproduction binaries; it produces the same plans bit for bit.

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use quantmcu_nn::{GraphError, GraphSpec};
+use quantmcu_nn::{Graph, GraphError, GraphSpec};
 
 use crate::classic::{inception_v3, resnet18, squeezenet, vgg16};
 use crate::config::ModelConfig;
@@ -93,6 +93,18 @@ impl Model {
         } else {
             ModelConfig::new(224, 0.5, classes)
         }
+    }
+
+    /// An executable [`Graph`]: the model's spec at `cfg`, materialized
+    /// with deterministic structured weights (seeded, reproducible) —
+    /// the form [`quantmcu_nn::import::save_model`] serializes and every
+    /// round-trip suite compares against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Model::spec`] errors.
+    pub fn graph(self, cfg: ModelConfig, seed: u64) -> Result<Graph, GraphError> {
+        Ok(quantmcu_nn::init::with_structured_weights(self.spec(cfg)?, seed))
     }
 
     /// The paper's display name.

@@ -327,6 +327,20 @@ impl RawGraph {
     /// Returns the analysis [`Report`] when the graph has structural or
     /// shape errors (the same report [`analyze_raw`] would produce).
     pub fn lower(&self) -> Result<GraphSpec, Report> {
+        self.lower_with_order().map(|(spec, _)| spec)
+    }
+
+    /// Like [`RawGraph::lower`], but also returns the execution-order
+    /// permutation: `order[p]` is the raw declaration index of the node
+    /// placed at execution position `p`.
+    ///
+    /// Importers use the permutation to reorder per-node payloads (weights,
+    /// biases) that were recorded in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RawGraph::lower`].
+    pub fn lower_with_order(&self) -> Result<(GraphSpec, Vec<usize>), Report> {
         let mut report = Report::new();
         let structure = check_structure(self, &mut report);
         let _ = infer_shapes_inner(self, structure.as_ref(), &mut report);
@@ -357,11 +371,12 @@ impl RawGraph {
                 }
             })
             .collect();
-        GraphSpec::new(self.input_shape, nodes).map_err(|e| {
+        let spec = GraphSpec::new(self.input_shape, nodes).map_err(|e| {
             let mut r = Report::new();
             r.push(Diagnostic::new(Code::BadHyperparameter, None, e.to_string()));
             r
-        })
+        })?;
+        Ok((spec, structure.order))
     }
 }
 
@@ -543,7 +558,11 @@ fn check_structure(raw: &RawGraph, report: &mut Report) -> Option<Structure> {
     if report.has_code(Code::DuplicateId) || report.has_code(Code::Cycle) {
         return None;
     }
-    // Kahn topological order (cycle-free here by construction).
+    // Kahn topological order (cycle-free here by construction). The
+    // ready set is a min-heap on declaration index, making the order
+    // *stable*: a graph whose declaration order is already topological
+    // sorts to the identity permutation, so lowering — and hence the
+    // import round trip — preserves the declared node order bit-exactly.
     let mut indeg = vec![0usize; n];
     let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (u, ds) in deps.iter().enumerate() {
@@ -552,15 +571,15 @@ fn check_structure(raw: &RawGraph, report: &mut Report) -> Option<Structure> {
             rdeps[v].push(u);
         }
     }
-    let mut order: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
-    let mut head = 0;
-    while head < order.len() {
-        let v = order[head];
-        head += 1;
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&u| indeg[u] == 0).map(std::cmp::Reverse).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        order.push(v);
         for &u in &rdeps[v] {
             indeg[u] -= 1;
             if indeg[u] == 0 {
-                order.push(u);
+                ready.push(std::cmp::Reverse(u));
             }
         }
     }

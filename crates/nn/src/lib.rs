@@ -23,6 +23,14 @@
 //! overflow, SRAM feasibility) and reports typed diagnostics; the
 //! executors run it in strict mode via [`exec::CompiledGraph::new`].
 //!
+//! Models also enter from *outside* the process: the [`import`] module
+//! defines the versioned `.qmcu` serialized model format
+//! ([`import::save_model`] / [`import::load_model`], typed
+//! [`import::ImportError`]s), and the [`opt`] module runs a fixed-point
+//! graph-optimizer pass pipeline (bias/activation fusion, constant
+//! folding, identity removal, dead-node elimination) over every imported
+//! model before it is lowered and compiled.
+//!
 //! # Example
 //!
 //! ```
@@ -50,8 +58,10 @@ pub mod cost;
 mod error;
 pub mod exec;
 mod graph;
+pub mod import;
 pub mod init;
 pub mod kernels;
+pub mod opt;
 pub mod receptive;
 mod spec;
 

@@ -1,0 +1,977 @@
+//! Graph-optimizer pass pipeline over the importer IR.
+//!
+//! The optimizer works on [`ModelIr`] — a parameter-carrying superset of
+//! the analyzer's [`RawGraph`]: explicit node ids, declaration order free
+//! of topological meaning, plus per-node weight/bias payloads and one
+//! operator ([`IrOp::BiasAdd`]) that exists only at import time. Rewrite
+//! [`Pass`]es run *before* lowering, so `FloatExecutor`, `QuantExecutor`,
+//! the patch engine and the planner all execute the optimized graph.
+//!
+//! [`PassManager::standard`] runs four passes to a fixed point:
+//!
+//! 1. [`FuseConvBiasRelu`] — folds ONNX-style `BiasAdd` nodes into the
+//!    producing conv/dwconv/dense node's fused bias, and collapses
+//!    value-exact activation chains (`relu∘relu`, `relu∘relu6`,
+//!    `relu6∘relu6`, `relu6∘relu`).
+//! 2. [`FoldConstants`] — composes adjacent `dense∘dense` and
+//!    1×1-`conv∘conv` pairs into a single node by multiplying their
+//!    weight matrices at compile time.
+//! 3. [`RemoveIdentity`] — drops no-op nodes: 1×1/stride-1 pooling and
+//!    single-input concat.
+//! 4. [`EliminateDead`] — removes nodes unreachable from the output,
+//!    turning the analyzer's `D001` dead-node *warning* into an auto-fix.
+//!
+//! Every rewrite strictly reduces the node count, so the fixed point is
+//! reached in at most `nodes + 1` rounds; [`PassManager`] additionally
+//! caps rounds and reports both in [`OptStats`].
+//!
+//! [`ModelIr::lower`] validates the result through the static analyzer
+//! ([`RawGraph::lower_with_order`]) and through parameter-length checks,
+//! returning typed [`LowerError`]s instead of panicking.
+
+use std::fmt;
+
+use quantmcu_tensor::Shape;
+
+use crate::analyze::{RawGraph, RawInput, RawNode, Report};
+use crate::graph::expected_param_lens;
+use crate::{Graph, OpParams, OpSpec, Source};
+
+// ---------------------------------------------------------------------------
+// IR
+// ---------------------------------------------------------------------------
+
+/// An operator in the importer IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrOp {
+    /// An operator of the core executable IR ([`OpSpec`]).
+    Core(OpSpec),
+    /// Per-channel bias addition (ONNX `Conv` + `Add` idiom). Exists only
+    /// at import time: [`FuseConvBiasRelu`] folds it into the producing
+    /// node's fused bias, and lowering rejects any instance that survives.
+    BiasAdd,
+}
+
+impl IrOp {
+    /// A short lowercase operator name for display and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IrOp::Core(op) => op.name(),
+            IrOp::BiasAdd => "biasadd",
+        }
+    }
+}
+
+impl fmt::Display for IrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrOp::Core(op) => op.fmt(f),
+            IrOp::BiasAdd => f.write_str("biasadd"),
+        }
+    }
+}
+
+/// One node of a [`ModelIr`]: an operator, its inputs, and its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrNode {
+    /// The node's id (referenced by [`RawInput::Node`]). Ids are arbitrary
+    /// but unique; declaration order carries no meaning.
+    pub id: usize,
+    /// The operator.
+    pub op: IrOp,
+    /// Input sources, in operator order.
+    pub inputs: Vec<RawInput>,
+    /// Flattened weight buffer in the operator's canonical layout
+    /// (see [`OpParams`]); empty for weightless operators.
+    pub weights: Vec<f32>,
+    /// Per-output-channel bias; for conv/dwconv/dense an empty buffer
+    /// means all-zero bias. For [`IrOp::BiasAdd`] this is the addend.
+    pub bias: Vec<f32>,
+}
+
+/// The importer IR: a [`RawGraph`] with per-node parameters attached.
+///
+/// This is the form the [`crate::import`] decoder produces and the
+/// optimizer passes rewrite. [`ModelIr::lower`] turns it into an
+/// executable [`Graph`] after analyzer validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelIr {
+    /// Shape of the input image.
+    pub input_shape: Shape,
+    /// The nodes, in declaration (not necessarily execution) order.
+    pub nodes: Vec<IrNode>,
+    /// Id of the output node; `None` selects the last declared node.
+    pub output: Option<usize>,
+}
+
+impl ModelIr {
+    /// Re-expresses an executable graph in IR form (ids = node indices).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let spec = graph.spec();
+        let nodes = spec
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| IrNode {
+                id: i,
+                op: IrOp::Core(n.op),
+                inputs: n
+                    .inputs
+                    .iter()
+                    .map(|s| match *s {
+                        Source::Input => RawInput::Image,
+                        Source::Node(j) => RawInput::Node(j),
+                    })
+                    .collect(),
+                weights: graph.params(i).weights().to_vec(),
+                bias: graph.params(i).bias().to_vec(),
+            })
+            .collect();
+        let output = spec.len().checked_sub(1);
+        ModelIr { input_shape: spec.input_shape(), nodes, output }
+    }
+
+    /// The id of the output node: the explicit `output`, or the last
+    /// declared node. `None` for an empty graph.
+    pub fn output_id(&self) -> Option<usize> {
+        self.output.or_else(|| self.nodes.last().map(|n| n.id))
+    }
+
+    /// Index of the node with `id`, if any.
+    fn index_of(&self, id: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+
+    /// Indices of nodes that read the output of node `id`.
+    fn consumers(&self, id: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&RawInput::Node(id)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rewrites every reference to node `from` (inputs and output) to
+    /// point at `to`, then removes node `from`.
+    fn splice_out(&mut self, from: usize, to: RawInput) {
+        for n in &mut self.nodes {
+            for inp in &mut n.inputs {
+                if *inp == RawInput::Node(from) {
+                    *inp = to;
+                }
+            }
+        }
+        if self.output_id() == Some(from) {
+            self.output = match to {
+                RawInput::Node(id) => Some(id),
+                RawInput::Image => self.output, // caller guards this case
+            };
+        }
+        let idx = self.index_of(from).expect("splice_out target exists");
+        self.nodes.remove(idx);
+    }
+
+    /// Lowers the IR into an executable [`Graph`]: analyzer validation
+    /// (structure + shape inference via [`RawGraph::lower_with_order`]),
+    /// parameter reordering into execution order, and parameter-length
+    /// validation. Never panics on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// [`LowerError::Unlowerable`] when an import-only operator (e.g. an
+    /// unfused `BiasAdd`) survives, [`LowerError::Analysis`] when the
+    /// analyzer rejects the structure or shapes, and
+    /// [`LowerError::ParamLength`] when a weight or bias buffer does not
+    /// match its operator's required length.
+    pub fn lower(&self) -> Result<Graph, LowerError> {
+        for n in &self.nodes {
+            if let IrOp::BiasAdd = n.op {
+                return Err(LowerError::Unlowerable { id: n.id, op: n.op.name() });
+            }
+        }
+        let raw = RawGraph {
+            input_shape: self.input_shape,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| RawNode {
+                    id: n.id,
+                    op: match n.op {
+                        IrOp::Core(op) => op,
+                        IrOp::BiasAdd => unreachable!("rejected above"),
+                    },
+                    inputs: n.inputs.clone(),
+                })
+                .collect(),
+            output: self.output,
+        };
+        let (spec, order) = raw.lower_with_order().map_err(LowerError::Analysis)?;
+        let mut params = Vec::with_capacity(order.len());
+        for (p, &idx) in order.iter().enumerate() {
+            let node = &self.nodes[idx];
+            let (expect_w, expect_b) = expected_param_lens(&spec, p);
+            if expect_w == 0 {
+                if !node.weights.is_empty() || !node.bias.is_empty() {
+                    return Err(LowerError::ParamLength {
+                        id: node.id,
+                        kind: "weights",
+                        expected: 0,
+                        actual: node.weights.len().max(node.bias.len()),
+                    });
+                }
+                params.push(OpParams::None);
+                continue;
+            }
+            if node.weights.len() != expect_w {
+                return Err(LowerError::ParamLength {
+                    id: node.id,
+                    kind: "weights",
+                    expected: expect_w,
+                    actual: node.weights.len(),
+                });
+            }
+            let bias = if node.bias.is_empty() {
+                vec![0.0; expect_b]
+            } else if node.bias.len() == expect_b {
+                node.bias.clone()
+            } else {
+                return Err(LowerError::ParamLength {
+                    id: node.id,
+                    kind: "bias",
+                    expected: expect_b,
+                    actual: node.bias.len(),
+                });
+            };
+            params.push(OpParams::Weights { weights: node.weights.clone(), bias });
+        }
+        Ok(Graph::new(spec, params))
+    }
+}
+
+/// Why an IR could not be lowered into an executable [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LowerError {
+    /// An import-only operator survived optimization (e.g. a `BiasAdd`
+    /// whose producer could not absorb it).
+    Unlowerable {
+        /// Offending node id.
+        id: usize,
+        /// Operator name.
+        op: &'static str,
+    },
+    /// A node's weight or bias buffer has the wrong length for its
+    /// operator and input shape.
+    ParamLength {
+        /// Offending node id.
+        id: usize,
+        /// `"weights"` or `"bias"`.
+        kind: &'static str,
+        /// Required buffer length.
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// The static analyzer rejected the graph's structure or shapes.
+    Analysis(Report),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Unlowerable { id, op } => {
+                write!(f, "node {id}: import-only operator `{op}` cannot be lowered")
+            }
+            LowerError::ParamLength { id, kind, expected, actual } => {
+                write!(f, "node {id}: {kind} length {actual}, operator requires {expected}")
+            }
+            LowerError::Analysis(report) => write!(f, "analysis failed: {report}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LowerError::Analysis(report) => Some(report),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass infrastructure
+// ---------------------------------------------------------------------------
+
+/// A rewrite pass over [`ModelIr`].
+///
+/// Every rewrite a pass applies must strictly reduce the node count (the
+/// standard passes all splice nodes out); [`PassManager`] relies on this
+/// for fixed-point termination.
+pub trait Pass {
+    /// The pass's name, used in [`OptStats`].
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass once, returning the number of rewrites performed.
+    fn run(&self, ir: &mut ModelIr) -> usize;
+}
+
+/// Rewrite counts accumulated by a [`PassManager`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptStats {
+    /// Rounds executed (including the final all-quiet round).
+    pub rounds: usize,
+    /// Total rewrites per pass, in pipeline order.
+    pub rewrites: Vec<(&'static str, usize)>,
+    /// `true` when the run ended because no pass fired (as opposed to
+    /// hitting the round cap).
+    pub fixed_point: bool,
+}
+
+impl OptStats {
+    /// Total rewrites across all passes.
+    pub fn total(&self) -> usize {
+        self.rewrites.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+impl fmt::Display for OptStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rewrite(s) in {} round(s)", self.total(), self.rounds)?;
+        for (name, n) in self.rewrites.iter().filter(|&&(_, n)| n > 0) {
+            write!(f, ", {name}: {n}")?;
+        }
+        if !self.fixed_point {
+            write!(f, " (round cap hit)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a pass pipeline to a fixed point.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_rounds: usize,
+}
+
+impl PassManager {
+    /// A manager over an explicit pass list.
+    pub fn new(passes: Vec<Box<dyn Pass>>) -> Self {
+        PassManager { passes, max_rounds: usize::MAX }
+    }
+
+    /// The standard pipeline: bias/activation fusion, constant folding,
+    /// identity removal, dead-node elimination.
+    pub fn standard() -> Self {
+        PassManager::new(vec![
+            Box::new(FuseConvBiasRelu),
+            Box::new(FoldConstants),
+            Box::new(RemoveIdentity),
+            Box::new(EliminateDead),
+        ])
+    }
+
+    /// Caps the number of rounds (a safety valve; the strict node-count
+    /// decrease already bounds rounds by `nodes + 1`).
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs every pass repeatedly until none fires (or the round cap).
+    pub fn run(&self, ir: &mut ModelIr) -> OptStats {
+        let mut rewrites: Vec<(&'static str, usize)> =
+            self.passes.iter().map(|p| (p.name(), 0)).collect();
+        // Each rewrite removes at least one node, so `nodes + 1` rounds
+        // suffice even without the explicit cap.
+        let bound = self.max_rounds.min(ir.nodes.len() + 1);
+        let mut rounds = 0;
+        let mut fixed_point = false;
+        while rounds < bound {
+            rounds += 1;
+            let mut fired = 0;
+            for (i, pass) in self.passes.iter().enumerate() {
+                let n = pass.run(ir);
+                rewrites[i].1 += n;
+                fired += n;
+            }
+            if fired == 0 {
+                fixed_point = true;
+                break;
+            }
+        }
+        OptStats { rounds, rewrites, fixed_point }
+    }
+}
+
+/// Optimizes an executable graph through the standard pipeline and lowers
+/// the result back into a [`Graph`].
+///
+/// # Errors
+///
+/// Propagates [`ModelIr::lower`] errors (a graph that lowered once can
+/// only fail here if a pass produced an invalid rewrite, which the
+/// standard passes never do).
+pub fn optimize(graph: &Graph) -> Result<(Graph, OptStats), LowerError> {
+    let mut ir = ModelIr::from_graph(graph);
+    let stats = PassManager::standard().run(&mut ir);
+    Ok((ir.lower()?, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+/// Folds `BiasAdd` nodes into their producing conv/dwconv/dense node's
+/// fused bias, and collapses value-exact activation chains.
+///
+/// Bias folding requires the producer to (a) carry weights, (b) have the
+/// `BiasAdd` as its *only* consumer, and (c) not be the graph output —
+/// otherwise the pre-bias value is observable and the rewrite is skipped.
+/// Activation collapses are value-exact: `relu(relu(x)) = relu(x)`,
+/// `relu(relu6(x)) = relu6(x)`, `relu6(relu6(x)) = relu6(x)` and
+/// `relu6(relu(x)) = relu6(x)` (the last removes the inner node and so
+/// additionally requires the inner `relu` to be single-consumer and not
+/// the output).
+pub struct FuseConvBiasRelu;
+
+impl Pass for FuseConvBiasRelu {
+    fn name(&self) -> &'static str {
+        "fuse-conv-bias-relu"
+    }
+
+    fn run(&self, ir: &mut ModelIr) -> usize {
+        let mut fired = 0;
+        // One rewrite per scan keeps index bookkeeping trivial; the pass
+        // manager re-runs us until quiet.
+        loop {
+            if let Some((node_id, producer)) = find_foldable_bias(ir) {
+                let bidx = ir.index_of(node_id).expect("bias node exists");
+                let addend = std::mem::take(&mut ir.nodes[bidx].bias);
+                let pidx = ir.index_of(producer).expect("producer exists");
+                if ir.nodes[pidx].bias.is_empty() {
+                    ir.nodes[pidx].bias = addend;
+                } else {
+                    for (b, a) in ir.nodes[pidx].bias.iter_mut().zip(&addend) {
+                        *b += a;
+                    }
+                }
+                ir.splice_out(node_id, RawInput::Node(producer));
+                fired += 1;
+                continue;
+            }
+            if let Some((drop_id, keep)) = find_collapsible_activation(ir) {
+                ir.splice_out(drop_id, keep);
+                fired += 1;
+                continue;
+            }
+            return fired;
+        }
+    }
+}
+
+/// A `BiasAdd` node whose producer can absorb it: returns
+/// `(biasadd_id, producer_id)`.
+fn find_foldable_bias(ir: &ModelIr) -> Option<(usize, usize)> {
+    for n in &ir.nodes {
+        if n.op != IrOp::BiasAdd {
+            continue;
+        }
+        let [RawInput::Node(pid)] = n.inputs[..] else { continue };
+        let Some(pidx) = ir.index_of(pid) else { continue };
+        let p = &ir.nodes[pidx];
+        let IrOp::Core(op) = p.op else { continue };
+        if !op.has_weights() {
+            continue;
+        }
+        // The addend must be one bias per output channel; when the
+        // producer already has a bias the lengths must agree.
+        if !p.bias.is_empty() && p.bias.len() != n.bias.len() {
+            continue;
+        }
+        if ir.consumers(pid).len() != 1 || ir.output_id() == Some(pid) {
+            continue;
+        }
+        return Some((n.id, pid));
+    }
+    None
+}
+
+/// A redundant activation in a `relu`/`relu6` chain: returns
+/// `(node_id_to_drop, input_to_redirect_consumers_to)`.
+fn find_collapsible_activation(ir: &ModelIr) -> Option<(usize, RawInput)> {
+    for n in &ir.nodes {
+        let outer = match n.op {
+            IrOp::Core(OpSpec::Relu) => OpSpec::Relu,
+            IrOp::Core(OpSpec::Relu6) => OpSpec::Relu6,
+            _ => continue,
+        };
+        let [RawInput::Node(pid)] = n.inputs[..] else { continue };
+        let Some(pidx) = ir.index_of(pid) else { continue };
+        let inner = match ir.nodes[pidx].op {
+            IrOp::Core(OpSpec::Relu) => OpSpec::Relu,
+            IrOp::Core(OpSpec::Relu6) => OpSpec::Relu6,
+            _ => continue,
+        };
+        match (inner, outer) {
+            // Outer node is a no-op on an already-clamped value.
+            (OpSpec::Relu, OpSpec::Relu)
+            | (OpSpec::Relu6, OpSpec::Relu6)
+            | (OpSpec::Relu6, OpSpec::Relu) => {
+                return Some((n.id, RawInput::Node(pid)));
+            }
+            // relu6(relu(x)) = relu6(x): drop the inner relu, but only
+            // when nothing else observes it.
+            (OpSpec::Relu, OpSpec::Relu6) => {
+                if ir.consumers(pid).len() != 1 || ir.output_id() == Some(pid) {
+                    continue;
+                }
+                return Some((pid, ir.nodes[pidx].inputs[0]));
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Composes adjacent affine pairs — `dense∘dense` and
+/// 1×1/stride-1/pad-0 `conv2d∘conv2d` — into one node by multiplying
+/// their weight matrices and folding biases (`W = W₂W₁`,
+/// `b = W₂b₁ + b₂`) at compile time.
+///
+/// The intermediate node must have a single consumer and must not be the
+/// output. Floating-point composition reassociates sums, so downstream
+/// outputs match the unfolded graph to within ULP-level error (covered by
+/// the parity suite), not bit-exactly.
+pub struct FoldConstants;
+
+impl Pass for FoldConstants {
+    fn name(&self) -> &'static str {
+        "fold-constants"
+    }
+
+    fn run(&self, ir: &mut ModelIr) -> usize {
+        let mut fired = 0;
+        while let Some((outer_id, inner_id, out2, out1)) = find_affine_pair(ir) {
+            let iidx = ir.index_of(inner_id).expect("inner exists");
+            let inner = ir.nodes[iidx].clone();
+            let oidx = ir.index_of(outer_id).expect("outer exists");
+            let w1 = &inner.weights;
+            let w2 = &ir.nodes[oidx].weights;
+            let input_len = w1.len() / out1;
+            // W[o][i] = Σ_k W2[o][k] · W1[k][i]
+            let mut w = vec![0.0f32; out2 * input_len];
+            for o in 0..out2 {
+                for k in 0..out1 {
+                    let w2ok = w2[o * out1 + k];
+                    if w2ok == 0.0 {
+                        continue;
+                    }
+                    let row1 = &w1[k * input_len..(k + 1) * input_len];
+                    let row = &mut w[o * input_len..(o + 1) * input_len];
+                    for (wi, w1ki) in row.iter_mut().zip(row1) {
+                        *wi += w2ok * w1ki;
+                    }
+                }
+            }
+            // b[o] = Σ_k W2[o][k] · b1[k] + b2[o]
+            let mut b = vec![0.0f32; out2];
+            if !inner.bias.is_empty() {
+                for (o, bo) in b.iter_mut().enumerate() {
+                    for (k, b1k) in inner.bias.iter().enumerate() {
+                        *bo += w2[o * out1 + k] * b1k;
+                    }
+                }
+            }
+            if !ir.nodes[oidx].bias.is_empty() {
+                for (bo, b2o) in b.iter_mut().zip(ir.nodes[oidx].bias.clone()) {
+                    *bo += b2o;
+                }
+            }
+            ir.nodes[oidx].weights = w;
+            ir.nodes[oidx].bias = b;
+            ir.nodes[oidx].inputs = inner.inputs.clone();
+            let iidx = ir.index_of(inner_id).expect("inner still exists");
+            ir.nodes.remove(iidx);
+            fired += 1;
+        }
+        fired
+    }
+}
+
+/// An adjacent affine pair eligible for folding: returns
+/// `(outer_id, inner_id, outer_out, inner_out)`.
+fn find_affine_pair(ir: &ModelIr) -> Option<(usize, usize, usize, usize)> {
+    let affine_out = |op: IrOp| -> Option<(usize, bool)> {
+        match op {
+            IrOp::Core(OpSpec::Dense { out }) => Some((out, false)),
+            IrOp::Core(OpSpec::Conv2d { out_ch, kernel: 1, stride: 1, pad: 0 }) => {
+                Some((out_ch, true))
+            }
+            _ => None,
+        }
+    };
+    for n in &ir.nodes {
+        let Some((out2, outer_is_conv)) = affine_out(n.op) else { continue };
+        let [RawInput::Node(pid)] = n.inputs[..] else { continue };
+        let Some(pidx) = ir.index_of(pid) else { continue };
+        let p = &ir.nodes[pidx];
+        let Some((out1, inner_is_conv)) = affine_out(p.op) else { continue };
+        if outer_is_conv != inner_is_conv {
+            continue;
+        }
+        if ir.consumers(pid).len() != 1 || ir.output_id() == Some(pid) {
+            continue;
+        }
+        // Both weight buffers must already be shape-consistent; malformed
+        // payloads are left for `lower()` to reject with a typed error.
+        if out1 == 0 || p.weights.len() % out1 != 0 || n.weights.len() != out2 * out1 {
+            continue;
+        }
+        return Some((n.id, pid, out2, out1));
+    }
+    None
+}
+
+/// Removes no-op nodes: `maxpool`/`avgpool` with a 1×1 window and
+/// stride 1, and `concat` over a single input. Consumers are redirected
+/// to the node's input; a no-op that *is* the output and reads the raw
+/// image is kept (a [`Graph`] output must be a node).
+pub struct RemoveIdentity;
+
+impl Pass for RemoveIdentity {
+    fn name(&self) -> &'static str {
+        "remove-identity"
+    }
+
+    fn run(&self, ir: &mut ModelIr) -> usize {
+        let mut fired = 0;
+        loop {
+            let target = ir.nodes.iter().find_map(|n| {
+                let identity = matches!(
+                    n.op,
+                    IrOp::Core(OpSpec::MaxPool { kernel: 1, stride: 1 })
+                        | IrOp::Core(OpSpec::AvgPool { kernel: 1, stride: 1 })
+                ) || (n.op == IrOp::Core(OpSpec::Concat) && n.inputs.len() == 1);
+                if !identity || n.inputs.len() != 1 {
+                    return None;
+                }
+                if n.inputs[0] == RawInput::Image && ir.output_id() == Some(n.id) {
+                    return None;
+                }
+                Some((n.id, n.inputs[0]))
+            });
+            match target {
+                Some((id, input)) => {
+                    ir.splice_out(id, input);
+                    fired += 1;
+                }
+                None => return fired,
+            }
+        }
+    }
+}
+
+/// Removes nodes unreachable from the output — the auto-fix for the
+/// analyzer's `D001` dead-node warning. Skipped entirely when the output
+/// id does not resolve (the analyzer reports that as `S001`).
+pub struct EliminateDead;
+
+impl Pass for EliminateDead {
+    fn name(&self) -> &'static str {
+        "eliminate-dead"
+    }
+
+    fn run(&self, ir: &mut ModelIr) -> usize {
+        let Some(out_id) = ir.output_id() else { return 0 };
+        let Some(out_idx) = ir.index_of(out_id) else { return 0 };
+        let mut live = vec![false; ir.nodes.len()];
+        let mut stack = vec![out_idx];
+        live[out_idx] = true;
+        while let Some(idx) = stack.pop() {
+            for inp in &ir.nodes[idx].inputs {
+                if let RawInput::Node(id) = *inp {
+                    if let Some(i) = ir.index_of(id) {
+                        if !live[i] {
+                            live[i] = true;
+                            stack.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        let before = ir.nodes.len();
+        let mut keep = live.into_iter();
+        ir.nodes.retain(|_| keep.next().unwrap_or(false));
+        // Pin the output: "last declared" may now name a different node.
+        ir.output = Some(out_id);
+        before - ir.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_raw;
+    use crate::analyze::Code;
+    use crate::builder::GraphSpecBuilder;
+    use crate::init;
+
+    fn conv(id: usize, input: RawInput, out_ch: usize, bias: Vec<f32>) -> IrNode {
+        IrNode {
+            id,
+            op: IrOp::Core(OpSpec::Conv2d { out_ch, kernel: 1, stride: 1, pad: 0 }),
+            inputs: vec![input],
+            weights: (0..out_ch * 3).map(|i| i as f32 * 0.25 - 0.5).collect(),
+            bias,
+        }
+    }
+
+    fn plain(id: usize, op: OpSpec, input: RawInput) -> IrNode {
+        IrNode { id, op: IrOp::Core(op), inputs: vec![input], weights: vec![], bias: vec![] }
+    }
+
+    fn ir(nodes: Vec<IrNode>) -> ModelIr {
+        ModelIr { input_shape: Shape::hwc(4, 4, 3), nodes, output: None }
+    }
+
+    #[test]
+    fn biasadd_folds_into_conv() {
+        let mut m = ir(vec![
+            conv(0, RawInput::Image, 2, vec![]),
+            IrNode {
+                id: 1,
+                op: IrOp::BiasAdd,
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![],
+                bias: vec![0.5, -1.0],
+            },
+            plain(2, OpSpec::Relu, RawInput::Node(1)),
+        ]);
+        // Wrong weight count for c=3 input would fail lowering; fix lens.
+        m.nodes[0].weights = vec![0.1; 2 * 3];
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 2);
+        assert_eq!(m.nodes[0].bias, vec![0.5, -1.0]);
+        assert_eq!(m.nodes[1].inputs, vec![RawInput::Node(0)]);
+        // Reference: the same graph with the bias built in.
+        let spec =
+            GraphSpecBuilder::new(Shape::hwc(4, 4, 3)).conv2d(2, 1, 1, 0).relu().build().unwrap();
+        let reference = Graph::new(
+            spec,
+            vec![
+                OpParams::Weights { weights: vec![0.1; 6], bias: vec![0.5, -1.0] },
+                OpParams::None,
+            ],
+        );
+        assert_eq!(m.lower().unwrap(), reference);
+    }
+
+    #[test]
+    fn biasadd_not_folded_when_producer_shared() {
+        let mut m = ir(vec![
+            conv(0, RawInput::Image, 3, vec![]),
+            IrNode {
+                id: 1,
+                op: IrOp::BiasAdd,
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![],
+                bias: vec![1.0, 1.0, 1.0],
+            },
+            IrNode {
+                id: 2,
+                op: IrOp::Core(OpSpec::Add),
+                inputs: vec![RawInput::Node(1), RawInput::Node(0)],
+                weights: vec![],
+                bias: vec![],
+            },
+        ]);
+        m.nodes[0].weights = vec![0.1; 9];
+        let before = m.clone();
+        assert_eq!(FuseConvBiasRelu.run(&mut m), 0);
+        assert_eq!(m, before);
+        // And an unfused BiasAdd is a typed lowering error, not a panic.
+        assert!(matches!(m.lower(), Err(LowerError::Unlowerable { id: 1, .. })));
+    }
+
+    #[test]
+    fn relu_chains_collapse() {
+        let mut m = ir(vec![
+            plain(0, OpSpec::Relu, RawInput::Image),
+            plain(1, OpSpec::Relu, RawInput::Node(0)),
+            plain(2, OpSpec::Relu6, RawInput::Node(1)),
+            plain(3, OpSpec::Relu6, RawInput::Node(2)),
+            plain(4, OpSpec::Relu, RawInput::Node(3)),
+        ]);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        // relu∘relu → relu; relu6∘relu → relu6; relu6∘relu6 → relu6;
+        // relu∘relu6 → relu6. Everything collapses to relu6(relu(x)),
+        // and then the inner relu is absorbed too → single relu6.
+        assert_eq!(m.nodes.len(), 1);
+        assert_eq!(m.nodes[0].op, IrOp::Core(OpSpec::Relu6));
+        assert_eq!(m.nodes[0].inputs, vec![RawInput::Image]);
+    }
+
+    #[test]
+    fn dense_pair_folds_to_reference_values() {
+        // x (len 2) → dense([ [1,2],[3,4] ], b=[1,0]) → dense([ [1,1] ], b=[10])
+        let mut m = ModelIr {
+            input_shape: Shape::hwc(1, 1, 2),
+            nodes: vec![
+                IrNode {
+                    id: 0,
+                    op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                    inputs: vec![RawInput::Image],
+                    weights: vec![1.0, 2.0, 3.0, 4.0],
+                    bias: vec![1.0, 0.0],
+                },
+                IrNode {
+                    id: 1,
+                    op: IrOp::Core(OpSpec::Dense { out: 1 }),
+                    inputs: vec![RawInput::Node(0)],
+                    weights: vec![1.0, 1.0],
+                    bias: vec![10.0],
+                },
+            ],
+            output: None,
+        };
+        assert_eq!(FoldConstants.run(&mut m), 1);
+        assert_eq!(m.nodes.len(), 1);
+        // W = [1,1]·[[1,2],[3,4]] = [4,6]; b = [1,1]·[1,0] + 10 = 11.
+        assert_eq!(m.nodes[0].weights, vec![4.0, 6.0]);
+        assert_eq!(m.nodes[0].bias, vec![11.0]);
+        assert_eq!(m.nodes[0].op, IrOp::Core(OpSpec::Dense { out: 1 }));
+        assert_eq!(m.nodes[0].inputs, vec![RawInput::Image]);
+        m.lower().unwrap();
+    }
+
+    #[test]
+    fn identity_pool_and_single_concat_removed() {
+        let mut m = ir(vec![
+            plain(0, OpSpec::Relu, RawInput::Image),
+            plain(1, OpSpec::MaxPool { kernel: 1, stride: 1 }, RawInput::Node(0)),
+            plain(2, OpSpec::Concat, RawInput::Node(1)),
+            plain(3, OpSpec::AvgPool { kernel: 1, stride: 1 }, RawInput::Node(2)),
+            plain(4, OpSpec::Relu6, RawInput::Node(3)),
+        ]);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 1);
+        assert_eq!(m.nodes[0].op, IrOp::Core(OpSpec::Relu6));
+    }
+
+    #[test]
+    fn identity_at_output_reading_image_is_kept() {
+        let mut m = ir(vec![plain(7, OpSpec::MaxPool { kernel: 1, stride: 1 }, RawInput::Image)]);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 1);
+        m.lower().unwrap();
+    }
+
+    #[test]
+    fn dead_nodes_removed_and_d001_cleared() {
+        let m0 = ir(vec![
+            plain(0, OpSpec::Relu, RawInput::Image),
+            plain(1, OpSpec::Relu6, RawInput::Image), // dead
+            conv(2, RawInput::Node(1), 2, vec![]),    // dead (depends on dead)
+            plain(3, OpSpec::GlobalAvgPool, RawInput::Node(0)),
+        ]);
+        let raw = RawGraph {
+            input_shape: m0.input_shape,
+            nodes: m0
+                .nodes
+                .iter()
+                .map(|n| RawNode {
+                    id: n.id,
+                    op: match n.op {
+                        IrOp::Core(op) => op,
+                        IrOp::BiasAdd => unreachable!(),
+                    },
+                    inputs: n.inputs.clone(),
+                })
+                .collect(),
+            output: Some(3),
+        };
+        let report = analyze_raw(&raw, &Default::default());
+        assert!(report.diagnostics().iter().any(|d| d.code == Code::DeadNode));
+
+        let mut m = ModelIr { output: Some(3), ..m0 };
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 2);
+        let raw_after = RawGraph {
+            input_shape: m.input_shape,
+            nodes: m
+                .nodes
+                .iter()
+                .map(|n| RawNode {
+                    id: n.id,
+                    op: match n.op {
+                        IrOp::Core(op) => op,
+                        IrOp::BiasAdd => unreachable!(),
+                    },
+                    inputs: n.inputs.clone(),
+                })
+                .collect(),
+            output: m.output,
+        };
+        let after = analyze_raw(&raw_after, &Default::default());
+        assert!(!after.diagnostics().iter().any(|d| d.code == Code::DeadNode));
+    }
+
+    #[test]
+    fn pass_manager_terminates_on_pathological_chain() {
+        // A long all-identity chain: every round fires, node count
+        // strictly decreases, fixed point reached well under the bound.
+        let mut nodes = vec![plain(0, OpSpec::Relu, RawInput::Image)];
+        for i in 1..64 {
+            nodes.push(plain(i, OpSpec::MaxPool { kernel: 1, stride: 1 }, RawInput::Node(i - 1)));
+        }
+        let mut m = ir(nodes);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert!(stats.rounds <= 65);
+        assert_eq!(m.nodes.len(), 1);
+    }
+
+    #[test]
+    fn optimize_zoo_like_graph_is_value_preserving_shape() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(8, 3, 1, 1)
+            .relu6()
+            .dwconv(3, 1, 1)
+            .relu6()
+            .global_avg_pool()
+            .dense(10)
+            .build()
+            .unwrap();
+        let g = init::with_structured_weights(spec, 9);
+        let (opt, stats) = optimize(&g).unwrap();
+        // Nothing fusible: graph must come back identical.
+        assert_eq!(stats.total(), 0);
+        assert_eq!(opt, g);
+    }
+
+    #[test]
+    fn lower_reports_param_length_not_panic() {
+        let mut m = ir(vec![conv(0, RawInput::Image, 2, vec![])]);
+        m.nodes[0].weights = vec![0.0; 5]; // needs 2*1*1*3 = 6
+        assert!(matches!(
+            m.lower(),
+            Err(LowerError::ParamLength { id: 0, kind: "weights", expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn lower_surfaces_analysis_report() {
+        let m = ir(vec![plain(0, OpSpec::Relu, RawInput::Node(99))]);
+        match m.lower() {
+            Err(LowerError::Analysis(report)) => assert!(report.has_errors()),
+            other => panic!("expected analysis error, got {other:?}"),
+        }
+    }
+}
