@@ -1,0 +1,62 @@
+//! Temporary review-verification tests (not part of the PR).
+
+use quantmcu::nn::analyze::RawInput;
+use quantmcu::nn::import::{encode, load_model};
+use quantmcu::nn::opt::{IrNode, IrOp, ModelIr};
+use quantmcu::nn::OpSpec;
+use quantmcu::tensor::Shape;
+
+#[test]
+fn fold_constants_oob_bias() {
+    // inner dense out=2 with bias longer than out1 (3 entries)
+    let ir = ModelIr {
+        input_shape: Shape::hwc(1, 1, 2),
+        nodes: vec![
+            IrNode {
+                id: 0,
+                op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                inputs: vec![RawInput::Image],
+                weights: vec![1.0, 2.0, 3.0, 4.0],
+                bias: vec![1.0, 2.0, 3.0], // too long: out1 = 2
+            },
+            IrNode {
+                id: 1,
+                op: IrOp::Core(OpSpec::Dense { out: 1 }),
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![1.0, 1.0],
+                bias: vec![],
+            },
+        ],
+        output: None,
+    };
+    let bytes = encode(&ir);
+    // Should be a typed error, never a panic.
+    let _ = load_model(&bytes);
+}
+
+#[test]
+fn relu_collapse_empty_inputs() {
+    // inner relu with ZERO inputs, outer relu6 consuming it
+    let ir = ModelIr {
+        input_shape: Shape::hwc(2, 2, 1),
+        nodes: vec![
+            IrNode {
+                id: 0,
+                op: IrOp::Core(OpSpec::Relu),
+                inputs: vec![], // malformed: no inputs
+                weights: vec![],
+                bias: vec![],
+            },
+            IrNode {
+                id: 1,
+                op: IrOp::Core(OpSpec::Relu6),
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![],
+                bias: vec![],
+            },
+        ],
+        output: Some(1),
+    };
+    let bytes = encode(&ir);
+    let _ = load_model(&bytes);
+}
