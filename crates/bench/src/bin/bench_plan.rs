@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use quantmcu::models::Model;
 use quantmcu::tensor::Tensor;
-use quantmcu::{DeploymentPlan, PlanStats, Planner, QuantMcuConfig};
+use quantmcu::{DeploymentPlan, Engine, PlanStats, Planner, QuantMcuConfig, SramBudget};
 use quantmcu_bench::{exec_dataset, exec_graph, smoke, EXEC_SRAM};
 
 /// Best-of-N wall clock for one worker count, plus the produced plan and
@@ -87,11 +87,43 @@ fn main() {
         ));
     }
 
+    // Plan-artifact cold start: persist the serial plan's deployment to
+    // `.qplan` bytes, restore it with no calibration data, and compare
+    // wall clock against the calibrate-plan-deploy path (outputs must be
+    // bit-identical — the artifact contract).
+    let engine = Engine::builder(graph.clone()).sram_budget(SramBudget::new(EXEC_SRAM)).build();
+    let start = Instant::now();
+    let calibrated =
+        engine.plan(calib.clone()).and_then(|p| engine.deploy(p)).expect("calibrated deploy");
+    let calibrated_time = start.elapsed();
+    let artifact_bytes = calibrated.save().expect("save plan artifact");
+    let start = Instant::now();
+    let cold = engine.deploy_from_artifact(&artifact_bytes).expect("cold-start deploy");
+    let cold_time = start.elapsed();
+    let probe: Vec<Tensor> = ds.images(4);
+    let identical = calibrated.session().run_batch(&probe).expect("calibrated outputs")
+        == cold.session().run_batch(&probe).expect("cold-start outputs");
+    assert!(identical, "cold-start outputs diverged from the calibrated deployment");
+    let cold_speedup = calibrated_time.as_secs_f64() / cold_time.as_secs_f64().max(1e-9);
+    println!(
+        "\nPlan artifact: {} byte(s); cold start {:7.1} ms vs calibrated {:7.1} ms \
+         ({cold_speedup:5.1}x)  bit-identical: {identical}",
+        artifact_bytes.len(),
+        cold_time.as_secs_f64() * 1e3,
+        calibrated_time.as_secs_f64() * 1e3
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"planner_throughput\",\n  \"model\": \"MobileNetV2 (exec scale)\",\n  \
          \"calibration_images\": {images},\n  \"reps\": {reps},\n  \
-         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"host_parallelism\": {host_parallelism},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"artifact\": {{\"bytes\": {}, \"coldstart_seconds\": {:.6}, \
+         \"calibrated_seconds\": {:.6}, \"speedup\": {cold_speedup:.1}, \
+         \"bit_identical\": {identical}}}\n}}\n",
+        rows.join(",\n"),
+        artifact_bytes.len(),
+        cold_time.as_secs_f64(),
+        calibrated_time.as_secs_f64()
     );
     // Smoke runs exist to catch runtime panics; don't let their shrunken
     // measurements clobber the committed full-config snapshot.

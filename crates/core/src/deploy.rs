@@ -4,11 +4,12 @@
 use std::borrow::Borrow;
 use std::sync::Arc;
 
-use quantmcu_nn::exec::{batch, CompiledGraph, ExecState};
+use quantmcu_nn::exec::{batch, CompiledGraph, ExecState, QuantState};
 use quantmcu_nn::{Graph, GraphError};
 use quantmcu_patch::{PatchExecutor, PatchOutput, PatchState};
 use quantmcu_tensor::{QuantParams, Tensor};
 
+use crate::artifact::{graph_fingerprint, ArtifactError, PlanArtifact};
 use crate::error::Error;
 use crate::plan::DeploymentPlan;
 
@@ -75,6 +76,35 @@ impl Deployment {
     /// [`Error::Patch`] when the plan's split does not fit the graph.
     pub fn new(graph: impl Into<Arc<Graph>>, plan: DeploymentPlan) -> Result<Self, Error> {
         let graph: Arc<Graph> = graph.into();
+        let branch_params = Deployment::branch_params_for(&plan)?;
+        let tail = CompiledGraph::with_quantization(
+            Deployment::tail_graph(&graph, &plan)?,
+            &plan.tail_ranges,
+            &plan.tail_bits,
+            plan.weight_bits,
+        )?;
+        // Stage-only: the serving path runs the integer tail compiled
+        // above, so the executor's float tail (a second copy of the tail
+        // weights) is never built.
+        let executor = PatchExecutor::stage_only(Arc::clone(&graph), plan.patch_plan().clone())?;
+        Ok(Deployment { executor, branch_params, tail, plan })
+    }
+
+    /// Restores a deployment from a decoded plan artifact with **zero**
+    /// calibration work: the branch grids are rebuilt from the stored
+    /// ranges and the integer tail is re-seated from the artifact's
+    /// packed quantized state instead of being re-derived from float
+    /// weights — outputs are bit-identical to the calibrated original.
+    pub(crate) fn from_artifact(graph: Arc<Graph>, artifact: PlanArtifact) -> Result<Self, Error> {
+        let (_, plan, state) = artifact.into_parts();
+        let branch_params = Deployment::branch_params_for(&plan)?;
+        let tail = CompiledGraph::with_quant_state(Deployment::tail_graph(&graph, &plan)?, state)?;
+        let executor = PatchExecutor::stage_only(Arc::clone(&graph), plan.patch_plan().clone())?;
+        Ok(Deployment { executor, branch_params, tail, plan })
+    }
+
+    /// Per-branch activation grids from the plan's calibrated ranges.
+    fn branch_params_for(plan: &DeploymentPlan) -> Result<Vec<Vec<QuantParams>>, Error> {
         let mut branch_params = Vec::with_capacity(plan.branch_bits.len());
         for (ranges, bits) in plan.branch_ranges.iter().zip(&plan.branch_bits) {
             let params = ranges
@@ -85,21 +115,48 @@ impl Deployment {
                 .map_err(GraphError::Tensor)?;
             branch_params.push(params);
         }
+        Ok(branch_params)
+    }
+
+    /// The tail sub-graph (weights cloned) the plan's split selects.
+    fn tail_graph(graph: &Arc<Graph>, plan: &DeploymentPlan) -> Result<Graph, Error> {
         let split = plan.patch_plan().split_at();
         let spec = graph.spec();
         let (_, tail_spec) = spec.split_at(split).map_err(quantmcu_patch::PatchError::from)?;
         let tail_params = (split..spec.len()).map(|i| graph.params(i).clone()).collect();
-        let tail = CompiledGraph::with_quantization(
-            Graph::new(tail_spec, tail_params),
-            &plan.tail_ranges,
-            &plan.tail_bits,
-            plan.weight_bits,
-        )?;
-        // Stage-only: the serving path runs the integer tail compiled
-        // above, so the executor's float tail (a second copy of the tail
-        // weights) is never built.
-        let executor = PatchExecutor::stage_only(Arc::clone(&graph), plan.patch_plan().clone())?;
-        Ok(Deployment { executor, branch_params, tail, plan })
+        Ok(Graph::new(tail_spec, tail_params))
+    }
+
+    /// Serializes this deployment to `.qplan` bytes: the full plan plus
+    /// the packed quantized weights and requantization tables of the
+    /// compiled integer tail, bound to the served model's fingerprint.
+    /// [`crate::Engine::deploy_from_artifact`] restores a bit-identical
+    /// deployment from them with no calibration source at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Artifact`] only for internally inconsistent
+    /// deployments (a tail without quantization state).
+    pub fn save(&self) -> Result<Vec<u8>, Error> {
+        Ok(self.artifact()?.encode())
+    }
+
+    /// Writes this deployment to a `.qplan` file — the file-path
+    /// spelling of [`Deployment::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Artifact`] when the file cannot be written.
+    pub fn save_to_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), Error> {
+        Ok(self.artifact()?.encode_to_path(path)?)
+    }
+
+    /// The artifact capturing this deployment.
+    fn artifact(&self) -> Result<PlanArtifact, Error> {
+        let state: QuantState = self.tail.quant_state().ok_or_else(|| ArtifactError::Plan {
+            detail: "deployment tail carries no quantization state".to_string(),
+        })?;
+        Ok(PlanArtifact::new(graph_fingerprint(self.graph()), self.plan.clone(), state))
     }
 
     /// The plan being executed.
@@ -287,6 +344,19 @@ mod tests {
         let a = Session::new(Arc::clone(&dep)).run_batch(&test).unwrap();
         let b = dep.session().run_batch(&test).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn artifact_round_trip_restores_bit_identical_deployment() {
+        let engine = Engine::builder(graph()).sram_budget(SramBudget::kib(256)).build();
+        let dep = engine.deploy(engine.plan(inputs(4)).unwrap()).unwrap();
+        let bytes = dep.save().unwrap();
+        let restored = engine.deploy_from_artifact(&bytes).unwrap();
+        assert_eq!(dep.plan(), restored.plan());
+        let test = inputs(6);
+        let original = dep.session().run_batch(&test).unwrap();
+        let cold = restored.session().run_batch(&test).unwrap();
+        assert_eq!(original, cold, "cold-start outputs must be bit-identical");
     }
 
     #[test]

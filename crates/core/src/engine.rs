@@ -328,6 +328,64 @@ impl Engine {
         Deployment::new(Arc::clone(&self.graph), plan)
     }
 
+    /// Restores a [`Deployment`] from `.qplan` plan-artifact bytes (see
+    /// [`crate::artifact`]) with **no calibration source at all** — the
+    /// cold-start path. The artifact is decoded and fully re-validated,
+    /// its stored graph fingerprint is checked against the engine's
+    /// graph, the static analyzer vets the graph as for
+    /// [`Engine::deploy`], and the integer tail is re-seated from the
+    /// artifact's packed quantized state. The restored deployment
+    /// computes outputs **bit-identical** to the calibrated deployment
+    /// that [`Deployment::save`]d the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Artifact`] when the bytes are damaged, use an
+    /// unsupported format version, decode to an invalid plan, or were
+    /// saved for a different model
+    /// ([`ArtifactError::FingerprintMismatch`](crate::artifact::ArtifactError::FingerprintMismatch));
+    /// [`Error::Analysis`] when the static analyzer rejects the graph;
+    /// and [`Error::Graph`] / [`Error::Patch`] when the decoded state
+    /// does not fit the graph.
+    pub fn deploy_from_artifact(&self, bytes: &[u8]) -> Result<Deployment, Error> {
+        let artifact = crate::artifact::PlanArtifact::decode(bytes)?;
+        self.deploy_decoded(artifact)
+    }
+
+    /// Restores a [`Deployment`] from a `.qplan` file — the file-path
+    /// spelling of [`Engine::deploy_from_artifact`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Artifact`] when the file cannot be read, otherwise the
+    /// same errors as [`Engine::deploy_from_artifact`].
+    pub fn deploy_from_artifact_path(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Deployment, Error> {
+        let artifact = crate::artifact::PlanArtifact::decode_from_path(path)?;
+        self.deploy_decoded(artifact)
+    }
+
+    fn deploy_decoded(&self, artifact: crate::artifact::PlanArtifact) -> Result<Deployment, Error> {
+        let expected = crate::artifact::graph_fingerprint(&self.graph);
+        if artifact.fingerprint() != expected {
+            return Err(crate::artifact::ArtifactError::FingerprintMismatch {
+                expected,
+                found: artifact.fingerprint(),
+            }
+            .into());
+        }
+        if artifact.plan().spec() != self.graph.spec() {
+            return Err(crate::artifact::ArtifactError::Plan {
+                detail: "artifact spec does not match the engine graph".to_string(),
+            }
+            .into());
+        }
+        self.verify()?;
+        Deployment::from_artifact(Arc::clone(&self.graph), artifact)
+    }
+
     /// Runs the static analyzer in strict mode against the engine's
     /// configuration and budget (see [`crate::analyze`]).
     ///
@@ -492,6 +550,30 @@ mod tests {
             engine.plan_sweep_each(calib(3), &[SramBudget::new(64), SramBudget::kib(256)]).unwrap();
         assert!(outcomes[0].is_err());
         assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn artifact_from_a_different_model_is_rejected() {
+        use crate::artifact::ArtifactError;
+        let engine = Engine::builder(graph()).sram_budget(SramBudget::kib(256)).build();
+        let bytes = engine.deploy(engine.plan(calib(4)).unwrap()).unwrap().save().unwrap();
+        // Same spec, different weights: the fingerprint must catch it.
+        let other = init::with_structured_weights(graph().spec().clone(), 32);
+        let other_engine = Engine::builder(other).sram_budget(SramBudget::kib(256)).build();
+        let err = other_engine.deploy_from_artifact(&bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::Error::Artifact(ArtifactError::FingerprintMismatch { expected, found })
+                if expected != found
+        ));
+    }
+
+    #[test]
+    fn missing_artifact_file_is_a_typed_io_error() {
+        use crate::artifact::ArtifactError;
+        let engine = Engine::builder(graph()).build();
+        let err = engine.deploy_from_artifact_path("/nonexistent/model.qplan").unwrap_err();
+        assert!(matches!(err, crate::Error::Artifact(ArtifactError::Io { .. })));
     }
 
     #[test]

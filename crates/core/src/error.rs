@@ -50,6 +50,10 @@ pub enum Error {
     /// opcode, version mismatch, analyzer rejection — see
     /// [`quantmcu_nn::import`]).
     Import(quantmcu_nn::import::ImportError),
+    /// A serialized `.qplan` plan artifact could not be saved or loaded
+    /// (damaged file, wrong model fingerprint, invalid plan — see
+    /// [`crate::artifact`]).
+    Artifact(crate::artifact::ArtifactError),
 }
 
 impl fmt::Display for Error {
@@ -67,6 +71,7 @@ impl fmt::Display for Error {
                 Ok(())
             }
             Error::Import(e) => write!(f, "model import failed: {e}"),
+            Error::Artifact(e) => write!(f, "plan artifact failed: {e}"),
         }
     }
 }
@@ -80,6 +85,7 @@ impl std::error::Error for Error {
             Error::Serve(e) => Some(e),
             Error::Analysis(report) => Some(report),
             Error::Import(e) => Some(e),
+            Error::Artifact(e) => Some(e),
         }
     }
 }
@@ -87,6 +93,12 @@ impl std::error::Error for Error {
 impl From<quantmcu_nn::import::ImportError> for Error {
     fn from(e: quantmcu_nn::import::ImportError) -> Self {
         Error::Import(e)
+    }
+}
+
+impl From<crate::artifact::ArtifactError> for Error {
+    fn from(e: crate::artifact::ArtifactError) -> Self {
+        Error::Artifact(e)
     }
 }
 

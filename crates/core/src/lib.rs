@@ -89,6 +89,19 @@
 //! folding, identity removal, dead-node elimination), validate through
 //! the analyzer, and plan/deploy exactly like a zoo model.
 //!
+//! # Plan artifacts
+//!
+//! Planning needs calibration data; serving should not. A finished
+//! [`Deployment`] persists to the versioned `.qplan` binary format
+//! ([`artifact`]) via [`Deployment::save`] — the complete plan plus the
+//! packed quantized weights and requantization tables of its integer
+//! tail, bound to the model's fingerprint — and
+//! [`Engine::deploy_from_artifact`] restores a **bit-identical**
+//! deployment from those bytes with no calibration source at all (the
+//! calibration-free cold start). Damage, version skew and wrong-model
+//! loads surface as typed [`Error::Artifact`] values; loading never
+//! panics.
+//!
 //! The borrow-based [`Planner`] façade
 //! (`Planner::new(cfg).plan(&graph, &images, bytes)`) remains for the
 //! paper-reproduction binaries; it produces the same plans bit for bit.
@@ -100,6 +113,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+pub mod artifact;
 mod calibration;
 mod config;
 mod deploy;
@@ -111,6 +125,7 @@ mod plan;
 mod serve;
 
 pub use analysis::{analyze, AnalysisConfig};
+pub use artifact::{ArtifactError, PlanArtifact};
 pub use calibration::{CalibrationSource, CalibrationStream, DEFAULT_CALIBRATION_IMAGES};
 pub use config::{default_workers, QuantMcuConfig};
 pub use deploy::{Deployment, Session};

@@ -89,6 +89,41 @@ struct QuantTables {
     weight_bits: Bitwidth,
 }
 
+/// A serializable snapshot of one weighted node's integer tables: the
+/// packed CMix-NN weight words plus the requantization constants the
+/// executor's per-node tables carry. Weightless nodes carry all-empty
+/// buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeQuantState {
+    /// Packed weight words in the node's execution layout; empty for
+    /// weightless nodes.
+    pub packed_weights: Vec<u8>,
+    /// Bias in accumulator grid units, per output channel.
+    pub bias_q: Vec<i64>,
+    /// The accumulator's real-value scale, per output channel.
+    pub acc_scale: Vec<f64>,
+    /// Folded zero-point init terms; empty when the node's geometry
+    /// requires per-element correction.
+    pub zp_fold: Vec<i64>,
+}
+
+/// A serializable snapshot of a compiled graph's quantized half — what
+/// plan artifacts persist so a deployment can be restored bit-exactly
+/// without recompiling (or recalibrating) anything.
+///
+/// Produced by [`CompiledGraph::quant_state`], consumed by
+/// [`CompiledGraph::with_quant_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantState {
+    /// Activation grid per feature map.
+    pub act_params: Vec<QuantParams>,
+    /// Per-node packed weights and requantization tables, one entry per
+    /// graph node (all-empty for weightless nodes).
+    pub nodes: Vec<NodeQuantState>,
+    /// The deployed weight bitwidth.
+    pub weight_bits: Bitwidth,
+}
+
 impl<G: Borrow<Graph>> CompiledGraph<G> {
     /// Compiles `graph` for float execution: runs the static analyzer in
     /// strict mode ([`crate::analyze::verify_spec`]) and derives the
@@ -158,6 +193,143 @@ impl<G: Borrow<Graph>> CompiledGraph<G> {
         let quant = QuantTables::build(graph.borrow(), ranges, act_bits, weight_bits)?;
         let release_after = release_schedule(graph.borrow().spec());
         Ok(CompiledGraph { graph, release_after, quant: Some(quant) })
+    }
+
+    /// Recompiles a graph from a previously captured [`QuantState`]
+    /// instead of quantizing from calibration ranges — the bit-exact
+    /// restore path plan artifacts use. The same analyzer gates as
+    /// [`CompiledGraph::with_quantization`] run (strict structural
+    /// verification plus accumulator overflow proofs at the state's
+    /// activation bitwidths), and every buffer length is validated
+    /// against the graph before the state is accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingQuantization`] when the state does
+    /// not carry one activation grid per feature map,
+    /// [`GraphError::QuantState`] when a node's buffers do not fit the
+    /// graph's geometry, and [`GraphError::Analysis`] when the analyzer
+    /// rejects the graph or the overflow proof fails.
+    pub fn with_quant_state(graph: G, state: QuantState) -> Result<Self, GraphError> {
+        let spec = graph.borrow().spec();
+        let fm_count = spec.feature_map_count();
+        if state.act_params.len() != fm_count {
+            return Err(GraphError::MissingQuantization { feature_map: state.act_params.len() });
+        }
+        if state.nodes.len() != spec.len() {
+            return Err(GraphError::QuantState {
+                node: state.nodes.len(),
+                detail: "state carries the wrong number of node entries",
+            });
+        }
+        let mut report = crate::analyze::verify_spec(spec);
+        for (i, node) in spec.nodes().iter().enumerate() {
+            if !node.op.has_weights() {
+                continue;
+            }
+            let in_fm = source_fm(node.inputs[0]);
+            let in_shape = spec.feature_map_shape(FeatureMapId(in_fm));
+            if let Some(d) = crate::analyze::overflow_diagnostic(
+                i,
+                node.op,
+                in_shape,
+                state.act_params[in_fm].bitwidth(),
+                state.weight_bits,
+            ) {
+                report.push(d);
+            }
+        }
+        if report.has_errors() {
+            return Err(GraphError::Analysis(report));
+        }
+        let mut packed_weights = Vec::with_capacity(spec.len());
+        let mut node_quant = Vec::with_capacity(spec.len());
+        for (i, ns) in state.nodes.into_iter().enumerate() {
+            let w_len = graph.borrow().params(i).weights().len();
+            if w_len == 0 {
+                if !ns.packed_weights.is_empty()
+                    || !ns.bias_q.is_empty()
+                    || !ns.acc_scale.is_empty()
+                    || !ns.zp_fold.is_empty()
+                {
+                    return Err(GraphError::QuantState {
+                        node: i,
+                        detail: "weightless node carries quantization tables",
+                    });
+                }
+                packed_weights.push(Vec::new());
+                node_quant.push(None);
+                continue;
+            }
+            let op = spec.nodes()[i].op;
+            let in_shape = spec.input_shapes_of(i)[0];
+            let (channels, _) = weight_channel_layout(op, in_shape, w_len);
+            if ns.packed_weights.len() != state.weight_bits.bytes_for(w_len) {
+                return Err(GraphError::QuantState {
+                    node: i,
+                    detail: "packed weight buffer length does not match the node",
+                });
+            }
+            if ns.bias_q.len() != channels || ns.acc_scale.len() != channels {
+                return Err(GraphError::QuantState {
+                    node: i,
+                    detail: "requantization tables do not carry one entry per channel",
+                });
+            }
+            if !(ns.zp_fold.is_empty() || ns.zp_fold.len() == channels) {
+                return Err(GraphError::QuantState {
+                    node: i,
+                    detail: "zero-point fold does not carry one entry per channel",
+                });
+            }
+            if ns.acc_scale.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+                return Err(GraphError::QuantState {
+                    node: i,
+                    detail: "accumulator scale is not a positive finite number",
+                });
+            }
+            packed_weights.push(ns.packed_weights);
+            node_quant.push(Some(NodeQuant {
+                bias_q: ns.bias_q,
+                acc_scale: ns.acc_scale,
+                zp_fold: ns.zp_fold,
+            }));
+        }
+        let quant = QuantTables {
+            act_params: state.act_params,
+            packed_weights,
+            node_quant,
+            weight_bits: state.weight_bits,
+        };
+        let release_after = release_schedule(graph.borrow().spec());
+        Ok(CompiledGraph { graph, release_after, quant: Some(quant) })
+    }
+
+    /// Captures the quantized half of this compilation as a serializable
+    /// [`QuantState`] (see [`CompiledGraph::with_quant_state`]). `None`
+    /// when the graph was compiled without quantization.
+    pub fn quant_state(&self) -> Option<QuantState> {
+        let qt = self.quant.as_ref()?;
+        let nodes = qt
+            .packed_weights
+            .iter()
+            .zip(&qt.node_quant)
+            .map(|(packed, nq)| match nq {
+                Some(nq) => NodeQuantState {
+                    packed_weights: packed.clone(),
+                    bias_q: nq.bias_q.clone(),
+                    acc_scale: nq.acc_scale.clone(),
+                    zp_fold: nq.zp_fold.clone(),
+                },
+                None => NodeQuantState {
+                    packed_weights: Vec::new(),
+                    bias_q: Vec::new(),
+                    acc_scale: Vec::new(),
+                    zp_fold: Vec::new(),
+                },
+            })
+            .collect();
+        Some(QuantState { act_params: qt.act_params.clone(), nodes, weight_bits: qt.weight_bits })
     }
 
     /// The compiled graph.
@@ -905,6 +1077,72 @@ mod tests {
         assert!(matches!(
             compiled.run_quant(&mut ExecState::new(), &Tensor::zeros(Shape::hwc(4, 4, 1))),
             Err(GraphError::MissingQuantization { .. })
+        ));
+    }
+
+    #[test]
+    fn quant_state_round_trip_is_bit_identical() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(8, 8, 3))
+            .conv2d(4, 3, 1, 1)
+            .relu6()
+            .dwconv(3, 1, 1)
+            .global_avg_pool()
+            .dense(5)
+            .build()
+            .unwrap();
+        let graph = init::with_structured_weights(spec, 11);
+        let ranges: Vec<(f32, f32)> =
+            (0..graph.spec().feature_map_count()).map(|i| (-1.0 - i as f32 * 0.1, 2.0)).collect();
+        let act_bits = vec![Bitwidth::W8; graph.spec().feature_map_count()];
+        let compiled =
+            CompiledGraph::with_quantization(&graph, &ranges, &act_bits, Bitwidth::W4).unwrap();
+        let state = compiled.quant_state().expect("compiled with quantization");
+        let restored = CompiledGraph::with_quant_state(&graph, state.clone()).unwrap();
+        assert_eq!(restored.quant_state().unwrap(), state);
+        let input = Tensor::from_fn(Shape::hwc(8, 8, 3), |i| (i as f32 * 0.13).sin());
+        let a = compiled.run_quant(&mut ExecState::new(), &input).unwrap();
+        let b = restored.run_quant(&mut ExecState::new(), &input).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn quant_state_that_does_not_fit_is_rejected() {
+        let spec = GraphSpecBuilder::new(Shape::hwc(4, 4, 2)).conv2d(3, 3, 1, 1).build().unwrap();
+        let graph = init::with_structured_weights(spec, 2);
+        let ranges = vec![(-1.0, 1.0); 2];
+        let act_bits = vec![Bitwidth::W8; 2];
+        let compiled =
+            CompiledGraph::with_quantization(&graph, &ranges, &act_bits, Bitwidth::W8).unwrap();
+        let state = compiled.quant_state().unwrap();
+
+        let mut short = state.clone();
+        short.act_params.pop();
+        assert!(matches!(
+            CompiledGraph::with_quant_state(&graph, short),
+            Err(GraphError::MissingQuantization { feature_map: 1 })
+        ));
+
+        let mut bad_packed = state.clone();
+        bad_packed.nodes[0].packed_weights.pop();
+        assert!(matches!(
+            CompiledGraph::with_quant_state(&graph, bad_packed),
+            Err(GraphError::QuantState { node: 0, .. })
+        ));
+
+        let mut bad_bias = state.clone();
+        bad_bias.nodes[0].bias_q.push(0);
+        assert!(matches!(
+            CompiledGraph::with_quant_state(&graph, bad_bias),
+            Err(GraphError::QuantState { node: 0, .. })
+        ));
+
+        let mut bad_scale = state;
+        bad_scale.nodes[0].acc_scale[0] = f64::NAN;
+        assert!(matches!(
+            CompiledGraph::with_quant_state(&graph, bad_scale),
+            Err(GraphError::QuantState { node: 0, .. })
         ));
     }
 

@@ -522,12 +522,14 @@ fn find_collapsible_activation(ir: &ModelIr) -> Option<(usize, RawInput)> {
                 return Some((n.id, RawInput::Node(pid)));
             }
             // relu6(relu(x)) = relu6(x): drop the inner relu, but only
-            // when nothing else observes it.
+            // when nothing else observes it. A malformed inner node with
+            // the wrong arity is left for the analyzer's S004 diagnostic.
             (OpSpec::Relu, OpSpec::Relu6) => {
                 if ir.consumers(pid).len() != 1 || ir.output_id() == Some(pid) {
                     continue;
                 }
-                return Some((pid, ir.nodes[pidx].inputs[0]));
+                let [keep] = ir.nodes[pidx].inputs[..] else { continue };
+                return Some((pid, keep));
             }
             _ => continue,
         }
@@ -624,9 +626,15 @@ fn find_affine_pair(ir: &ModelIr) -> Option<(usize, usize, usize, usize)> {
         if ir.consumers(pid).len() != 1 || ir.output_id() == Some(pid) {
             continue;
         }
-        // Both weight buffers must already be shape-consistent; malformed
-        // payloads are left for `lower()` to reject with a typed error.
+        // Both weight and bias buffers must already be shape-consistent;
+        // malformed payloads are left for `lower()` to reject with a
+        // typed error rather than folded out of range or truncated.
         if out1 == 0 || p.weights.len() % out1 != 0 || n.weights.len() != out2 * out1 {
+            continue;
+        }
+        if !(p.bias.is_empty() || p.bias.len() == out1)
+            || !(n.bias.is_empty() || n.bias.len() == out2)
+        {
             continue;
         }
         return Some((n.id, pid, out2, out1));
@@ -954,6 +962,126 @@ mod tests {
         // Nothing fusible: graph must come back identical.
         assert_eq!(stats.total(), 0);
         assert_eq!(opt, g);
+    }
+
+    #[test]
+    fn fold_skips_mismatched_bias_and_lower_rejects_it() {
+        // Inner dense carries a 3-entry bias but only 2 output channels:
+        // folding must skip the pair (no OOB, no silent truncation) and
+        // lowering must reject the bias with a typed error.
+        let mut m = ModelIr {
+            input_shape: Shape::hwc(1, 1, 2),
+            nodes: vec![
+                IrNode {
+                    id: 0,
+                    op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                    inputs: vec![RawInput::Image],
+                    weights: vec![1.0, 2.0, 3.0, 4.0],
+                    bias: vec![1.0, 2.0, 3.0], // too long: out = 2
+                },
+                IrNode {
+                    id: 1,
+                    op: IrOp::Core(OpSpec::Dense { out: 1 }),
+                    inputs: vec![RawInput::Node(0)],
+                    weights: vec![1.0, 1.0],
+                    bias: vec![],
+                },
+            ],
+            output: None,
+        };
+        assert_eq!(FoldConstants.run(&mut m), 0);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 2, "malformed pair must survive unfolded");
+        assert!(matches!(
+            m.lower(),
+            Err(LowerError::ParamLength { id: 0, kind: "bias", expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn fold_skips_mismatched_outer_bias() {
+        // Outer dense bias too short (zip would silently truncate).
+        let mut m = ModelIr {
+            input_shape: Shape::hwc(1, 1, 2),
+            nodes: vec![
+                IrNode {
+                    id: 0,
+                    op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                    inputs: vec![RawInput::Image],
+                    weights: vec![1.0, 2.0, 3.0, 4.0],
+                    bias: vec![],
+                },
+                IrNode {
+                    id: 1,
+                    op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                    inputs: vec![RawInput::Node(0)],
+                    weights: vec![1.0, 1.0, 1.0, 1.0],
+                    bias: vec![5.0], // too short: out = 2
+                },
+            ],
+            output: None,
+        };
+        assert_eq!(FoldConstants.run(&mut m), 0);
+        assert!(matches!(
+            m.lower(),
+            Err(LowerError::ParamLength { id: 1, kind: "bias", expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn activation_collapse_tolerates_zero_input_nodes() {
+        // relu6(relu(x)) where the inner relu has NO inputs: the collapse
+        // must skip it and the arity error surfaces as analyzer S004.
+        let mut m = ModelIr {
+            input_shape: Shape::hwc(2, 2, 1),
+            nodes: vec![
+                IrNode {
+                    id: 0,
+                    op: IrOp::Core(OpSpec::Relu),
+                    inputs: vec![],
+                    weights: vec![],
+                    bias: vec![],
+                },
+                plain(1, OpSpec::Relu6, RawInput::Node(0)),
+            ],
+            output: Some(1),
+        };
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 2, "zero-input node must not be spliced");
+        match m.lower() {
+            Err(LowerError::Analysis(report)) => {
+                assert!(report.diagnostics().iter().any(|d| d.code == Code::BadArity));
+            }
+            other => panic!("expected S004 analysis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_removal_tolerates_zero_input_nodes() {
+        // A zero-input single-input-class identity candidate (concat with
+        // no inputs is not an identity; pool with no inputs must be left
+        // for the analyzer) — passes must not index out of bounds.
+        let mut m = ir(vec![
+            IrNode {
+                id: 0,
+                op: IrOp::Core(OpSpec::MaxPool { kernel: 1, stride: 1 }),
+                inputs: vec![],
+                weights: vec![],
+                bias: vec![],
+            },
+            plain(1, OpSpec::Relu, RawInput::Node(0)),
+        ]);
+        let stats = PassManager::standard().run(&mut m);
+        assert!(stats.fixed_point);
+        assert_eq!(m.nodes.len(), 2);
+        match m.lower() {
+            Err(LowerError::Analysis(report)) => {
+                assert!(report.diagnostics().iter().any(|d| d.code == Code::BadArity));
+            }
+            other => panic!("expected S004 analysis error, got {other:?}"),
+        }
     }
 
     #[test]

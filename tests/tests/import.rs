@@ -306,6 +306,79 @@ fn d001_dead_node_warning_becomes_auto_fix() {
     assert!(ir.nodes.iter().all(|n| ![4usize, 5].contains(&n.id)), "dead branch must be gone");
 }
 
+// --- malformed IR through the import pipeline -------------------------
+
+/// An inner dense whose bias is longer than its output-channel count must
+/// reach `lower()` unfolded and come back as a typed `ParamLength` error
+/// (surfaced as `ImportError::Model`), never a fold-time panic.
+#[test]
+fn malformed_bias_length_is_a_typed_model_error() {
+    let ir = ModelIr {
+        input_shape: Shape::hwc(1, 1, 2),
+        nodes: vec![
+            IrNode {
+                id: 0,
+                op: IrOp::Core(OpSpec::Dense { out: 2 }),
+                inputs: vec![RawInput::Image],
+                weights: vec![1.0, 2.0, 3.0, 4.0],
+                bias: vec![1.0, 2.0, 3.0], // too long: out = 2
+            },
+            IrNode {
+                id: 1,
+                op: IrOp::Core(OpSpec::Dense { out: 1 }),
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![1.0, 1.0],
+                bias: vec![],
+            },
+        ],
+        output: None,
+    };
+    let bytes = quantmcu::nn::import::encode(&ir);
+    match load_model(&bytes) {
+        Err(ImportError::Model { node: Some(0), detail }) => {
+            assert!(detail.contains("bias"), "detail must name the bias buffer: {detail}");
+        }
+        other => panic!("expected ImportError::Model for node 0, got {other:?}"),
+    }
+}
+
+/// A zero-input activation feeding a collapsible chain must flow to the
+/// analyzer's S004 arity diagnostic (surfaced as `ImportError::Analysis`),
+/// never an optimizer index-out-of-bounds.
+#[test]
+fn zero_input_node_is_a_typed_analysis_error() {
+    let ir = ModelIr {
+        input_shape: Shape::hwc(2, 2, 1),
+        nodes: vec![
+            IrNode {
+                id: 0,
+                op: IrOp::Core(OpSpec::Relu),
+                inputs: vec![], // malformed: no inputs
+                weights: vec![],
+                bias: vec![],
+            },
+            IrNode {
+                id: 1,
+                op: IrOp::Core(OpSpec::Relu6),
+                inputs: vec![RawInput::Node(0)],
+                weights: vec![],
+                bias: vec![],
+            },
+        ],
+        output: Some(1),
+    };
+    let bytes = quantmcu::nn::import::encode(&ir);
+    match load_model(&bytes) {
+        Err(ImportError::Analysis(report)) => {
+            assert!(
+                report.diagnostics().iter().any(|d| d.code.as_str() == "S004"),
+                "expected an S004 arity diagnostic, got {report}"
+            );
+        }
+        other => panic!("expected ImportError::Analysis, got {other:?}"),
+    }
+}
+
 // --- corruption properties --------------------------------------------
 
 fn reference_bytes() -> Vec<u8> {
